@@ -1,0 +1,26 @@
+# Convenience targets for the repro SMT-AVF reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench reproduce examples clean
+
+install:
+	pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+test-fast:
+	$(PYTHON) -m pytest tests/ -m "not slow"
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+reproduce:
+	$(PYTHON) -m repro.cli reproduce --out reproduction
+
+examples:
+	for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f || exit 1; done
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache .hypothesis

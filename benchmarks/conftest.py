@@ -1,0 +1,30 @@
+"""Benchmark-suite configuration.
+
+Each benchmark regenerates one table or figure of the paper and prints the
+rows/series the paper reports (run pytest with ``-s`` to see them; they are
+also written to ``benchmarks/out/``).  The per-thread instruction budget
+comes from the ``REPRO_SCALE`` environment variable (default below); the
+process-wide result cache means figures sharing simulations (1↔2, 6↔7↔8)
+pay for them once.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+#: Default per-thread instruction budget for benchmark runs.  The paper uses
+#: 25M per context; see DESIGN.md for the scale-down argument.
+DEFAULT_BENCH_SCALE = "2500"
+
+os.environ.setdefault("REPRO_SCALE", DEFAULT_BENCH_SCALE)
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+def save_artifact(name: str, text: str) -> None:
+    """Persist a figure/table rendering for EXPERIMENTS.md."""
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / f"{name}.txt").write_text(text + "\n")
+    print()
+    print(text)

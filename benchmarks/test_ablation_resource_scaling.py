@@ -1,0 +1,45 @@
+"""Ablation: resource scaling vs reliability (paper Section 5).
+
+"The performance gain does not correlate with the scale of hardware
+resources in a linear manner [but] the increased size of a microarchitecture
+structure is likely to ... expose more program states to soft-error
+strikes."  Sweeping the ROB on a CPU-bound mix shows it directly: an 8x
+larger ROB buys a few percent of IPC while nearly doubling the resident
+ACE bits the raw error rate multiplies.
+"""
+
+from conftest import save_artifact
+
+from repro.experiments.runner import ExperimentScale
+from repro.experiments.sensitivity import format_sweep, run_resource_sweep
+
+ROB_SIZES = (24, 48, 96, 192)
+IQ_SIZES = (48, 96, 192)
+
+
+def test_resource_scaling_tradeoff(benchmark):
+    scale = ExperimentScale.from_env()
+
+    def sweeps():
+        rob = run_resource_sweep("rob", ROB_SIZES, workload="4-CPU-A",
+                                 scale=scale)
+        iq = run_resource_sweep("iq", IQ_SIZES, workload="4-MIX-A",
+                                scale=scale)
+        return rob, iq
+
+    rob, iq = benchmark.pedantic(sweeps, rounds=1, iterations=1)
+    save_artifact("ablation_resource_scaling",
+                  format_sweep(rob) + "\n\n" + format_sweep(iq))
+
+    # ROB on a CPU-bound mix: returns diminish sharply past the knee...
+    assert rob.ipc_gain(len(rob.points) - 1) < 0.2 * max(rob.ipc_gain(1), 0.01)
+    # ...while exposure keeps growing well past it.
+    assert rob.points[-1].exposed_bits > 1.4 * rob.points[0].exposed_bits
+    # Past the knee (48 -> 96), exposure grows several times faster than IPC.
+    assert rob.exposure_gain(2) > 3.0 * max(rob.ipc_gain(2), 0.0)
+
+    # IQ on a mixed mix: sizing up does help throughput here (the knee is
+    # higher), and exposure grows monotonically until the knee.
+    assert iq.points[-1].ipc >= iq.points[0].ipc
+    exposures = [p.exposed_bits for p in iq.points]
+    assert all(b >= a * 0.999 for a, b in zip(exposures, exposures[1:]))

@@ -1,0 +1,69 @@
+"""Ablation: the paper's Section 5 optimization proposals, measured.
+
+Section 5 sketches three thread-aware reliability optimizations beyond the
+six evaluated policies; this reproduction implements all three and measures
+them against ICOUNT and FLUSH on a memory-bound mix:
+
+* **FLUSHP** — FLUSH + L2-miss prediction ("if the L2 cache misses can be
+  predicted when the offending instruction enters the pipeline, fetch can
+  be stalled immediately");
+* **RAFT**  — reliability-aware fetch throttling (cap a thread's resident
+  pipeline entries, a proxy for its ACE bits);
+* **static IQ partitioning** — per-thread IQ quotas so one thread's
+  dependence chain cannot clog the shared window.
+"""
+
+from conftest import save_artifact
+
+from repro.avf.structures import Structure
+from repro.config import MachineConfig, SimConfig
+from repro.experiments.formatting import render_table
+from repro.experiments.runner import ExperimentScale
+from repro.sim.simulator import simulate
+from repro.workload.mixes import get_mix
+
+WATCHED = (Structure.IQ, Structure.ROB, Structure.LSQ_TAG, Structure.FU)
+
+
+def _run_all(scale: ExperimentScale):
+    mix = get_mix("4-MEM-A")
+    sim = SimConfig(max_instructions=scale.instructions_per_thread * 4,
+                    seed=scale.seed)
+    results = {}
+    for policy in ("ICOUNT", "FLUSH", "FLUSHP", "RAFT"):
+        results[policy] = simulate(mix, policy=policy, sim=sim)
+    results["ICOUNT+IQpart"] = simulate(
+        mix, policy="ICOUNT", config=MachineConfig(iq_partitioned=True), sim=sim)
+    return results
+
+
+def test_section5_ablation(benchmark):
+    scale = ExperimentScale.from_env()
+    results = benchmark.pedantic(_run_all, args=(scale,), rounds=1, iterations=1)
+
+    rows = []
+    for name, r in results.items():
+        rows.append([name, r.ipc]
+                    + [r.avf.avf[s] for s in WATCHED]
+                    + [r.efficiency(Structure.IQ)])
+    text = render_table(
+        "Ablation: Section 5 proposals on 4-MEM-A",
+        ["scheme", "IPC", *(s.value for s in WATCHED), "IQ IPC/AVF"],
+        rows,
+    )
+    save_artifact("ablation_section5", text)
+
+    icount, flush = results["ICOUNT"], results["FLUSH"]
+    flushp, raft = results["FLUSHP"], results["RAFT"]
+    part = results["ICOUNT+IQpart"]
+
+    # FLUSHP keeps FLUSH's AVF reduction (prediction adds gating on top).
+    assert flushp.avf.avf[Structure.IQ] < 0.9 * icount.avf.avf[Structure.IQ]
+    # RAFT never discards work: throughput stays close to the baseline.
+    assert raft.ipc >= 0.85 * icount.ipc
+    # Partitioning trades AVF for throughput on memory-bound mixes: faster
+    # overall, but the per-thread quotas stay occupied by stalled ACE bits.
+    # (An honest negative result for the Section 5 hypothesis at this scale.)
+    assert part.ipc >= icount.ipc * 0.95
+    # And FLUSH remains the reference point everything is compared against.
+    assert flush.avf.avf[Structure.IQ] < icount.avf.avf[Structure.IQ]

@@ -1,0 +1,33 @@
+"""Figure 1: AVF profile of the 4-context SMT machine, per workload class.
+
+Shape targets (paper Section 4.1): memory-bound mixes raise the AVF of the
+structures that extract ILP (ROB, LSQ) and lower the FU and DL1-data AVF;
+the DL1 tag is always more vulnerable than the DL1 data array.
+"""
+
+from conftest import save_artifact
+
+from repro.avf.structures import Structure
+from repro.experiments import format_figure1, run_figure1
+
+
+def test_figure1_avf_profile(benchmark):
+    data = benchmark.pedantic(run_figure1, rounds=1, iterations=1)
+    save_artifact("fig1_avf_profile", format_figure1(data))
+
+    cpu, mem = data.avf["CPU"], data.avf["MEM"]
+    # Memory-bound workloads stall ACE bits in the ILP structures.
+    assert mem[Structure.ROB] > cpu[Structure.ROB]
+    assert mem[Structure.LSQ_TAG] > cpu[Structure.LSQ_TAG]
+    assert mem[Structure.LSQ_DATA] > cpu[Structure.LSQ_DATA]
+    # ... and idle the function units / churn the data cache.
+    assert mem[Structure.FU] < cpu[Structure.FU]
+    assert mem[Structure.DL1_DATA] < cpu[Structure.DL1_DATA]
+    # Tag bits are checked on every lookup: tag AVF > data AVF everywhere.
+    for mix_type in ("CPU", "MIX", "MEM"):
+        avf = data.avf[mix_type]
+        assert avf[Structure.DL1_TAG] > avf[Structure.DL1_DATA]
+    # The shared IQ is among the most vulnerable structures.
+    for mix_type in ("CPU", "MIX", "MEM"):
+        avf = data.avf[mix_type]
+        assert avf[Structure.IQ] >= max(avf[Structure.FU], avf[Structure.LSQ_DATA])

@@ -1,0 +1,38 @@
+"""Figure 3: per-thread AVF — SMT vs single-thread execution at equal work.
+
+Shape targets (paper Section 4.1): individual threads contribute less AVF
+inside an SMT mix than running alone; the aggregate SMT IQ AVF exceeds the
+work-weighted sequential AVF (about 2x on the 4-context CPU mix); the ROB
+moves the other way because register-pool pressure throttles per-thread ROB
+occupancy under SMT.
+"""
+
+from conftest import save_artifact
+
+from repro.avf.structures import Structure
+from repro.experiments import format_figure3, run_figure3
+
+
+def test_figure3_smt_vs_single_thread(benchmark):
+    data = benchmark.pedantic(run_figure3, rounds=1, iterations=1)
+    save_artifact("fig3_smt_vs_st", format_figure3(data))
+
+    cpu = next(w for w in data.workloads if w.workload == "4-CPU-A")
+    # Individual CPU-bound threads: less vulnerable inside the mix.  As a
+    # population — single threads can deviate slightly, so require all but
+    # one, and the mean.
+    for structure in (Structure.IQ, Structure.ROB):
+        wins = sum(1 for tc in cpu.threads
+                   if tc.smt_avf[structure] < tc.st_avf[structure])
+        assert wins >= len(cpu.threads) - 1, structure
+        mean_smt = sum(tc.smt_avf[structure] for tc in cpu.threads) / len(cpu.threads)
+        mean_st = sum(tc.st_avf[structure] for tc in cpu.threads) / len(cpu.threads)
+        assert mean_smt < mean_st, structure
+    # Aggregate: SMT raises the shared-IQ AVF above sequential (the paper
+    # reports ~2x; the scaled model's fetch-supply limit softens this to
+    # ~1.2-1.4x — see EXPERIMENTS.md).
+    assert (cpu.aggregate_smt[Structure.IQ]
+            > 1.15 * cpu.weighted_sequential[Structure.IQ])
+    # ...but lowers the ROB AVF (register-pool pressure).
+    assert (cpu.aggregate_smt[Structure.ROB]
+            < cpu.weighted_sequential[Structure.ROB])

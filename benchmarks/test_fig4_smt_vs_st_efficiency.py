@@ -1,0 +1,22 @@
+"""Figure 4: IPC/AVF per thread, SMT vs single-thread execution.
+
+Shape target (paper Section 4.1): the FU's IPC/AVF is essentially identical
+in the two modes — with equal work, the metric cancels the execution-time
+stretch, leaving only work-per-ACE-exposure, which the FU preserves.
+"""
+
+from conftest import save_artifact
+
+from repro.avf.structures import Structure
+from repro.experiments import format_figure4, run_figure4
+
+
+def test_figure4_efficiency_smt_vs_st(benchmark):
+    data = benchmark.pedantic(run_figure4, rounds=1, iterations=1)
+    save_artifact("fig4_smt_vs_st_efficiency", format_figure4(data))
+
+    # FU reliability efficiency is mode-independent (within noise).
+    for row in data.rows:
+        st, smt = row.st[Structure.FU], row.smt[Structure.FU]
+        if st != float("inf") and smt != float("inf"):
+            assert 0.7 < smt / st < 1.4, f"{row.workload}:{row.program}"

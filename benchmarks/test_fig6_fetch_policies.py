@@ -1,0 +1,35 @@
+"""Figure 6: AVF under the six fetch policies, 4- and 8-context panels.
+
+Shape targets (paper Section 4.3): FLUSH sharply reduces IQ/ROB/LSQ AVF on
+memory-bound workloads by squashing the instructions an L2 miss strands in
+the pipeline; STALL barely moves the IQ at 4 contexts; on CPU mixes every
+policy collapses onto the baseline because L2 misses are rare.
+"""
+
+from conftest import save_artifact
+
+from repro.avf.structures import Structure
+from repro.experiments import format_figure6, run_figure6
+
+
+def test_figure6_fetch_policies(benchmark):
+    data = benchmark.pedantic(run_figure6, rounds=1, iterations=1)
+    save_artifact("fig6_fetch_policies", format_figure6(data))
+
+    # FLUSH cuts the IQ AVF on memory-bound workloads at both context counts.
+    for n in (4, 8):
+        icount = data.avf[(n, "MEM", "ICOUNT")]
+        flush = data.avf[(n, "MEM", "FLUSH")]
+        assert flush[Structure.IQ] < 0.9 * icount[Structure.IQ], f"{n}-context"
+
+    # STALL is near-ineffective on the IQ at 4 contexts (few simultaneous
+    # L2 misses), within 15% of the baseline.
+    icount4 = data.avf[(4, "MEM", "ICOUNT")][Structure.IQ]
+    stall4 = data.avf[(4, "MEM", "STALL")][Structure.IQ]
+    assert abs(stall4 - icount4) < 0.15 * icount4
+
+    # On CPU-bound mixes the policies barely differ from ICOUNT.
+    icount_cpu = data.avf[(4, "CPU", "ICOUNT")][Structure.IQ]
+    for policy in ("FLUSH", "STALL", "DWARN"):
+        cpu = data.avf[(4, "CPU", policy)][Structure.IQ]
+        assert abs(cpu - icount_cpu) < 0.25 * max(icount_cpu, 1e-9)

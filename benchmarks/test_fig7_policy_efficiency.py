@@ -1,0 +1,32 @@
+"""Figure 7: fetch-policy reliability efficiency, normalised to ICOUNT.
+
+Shape targets (paper Section 4.3): FLUSH achieves the best IPC/AVF on the
+structures it protects (IQ, ROB, LSQ) for memory-bound workloads; on
+CPU-bound workloads the advanced policies' advantage over ICOUNT
+essentially vanishes.
+"""
+
+from conftest import save_artifact
+
+from repro.avf.structures import Structure
+from repro.experiments import format_figure7, run_figure7
+from repro.experiments.fig7_policy_efficiency import ADVANCED_POLICIES
+
+
+def test_figure7_policy_efficiency(benchmark):
+    data = benchmark.pedantic(run_figure7, rounds=1, iterations=1)
+    save_artifact("fig7_policy_efficiency", format_figure7(data))
+
+    # FLUSH improves the IQ trade-off on memory-bound mixes.
+    assert data.normalized[("MEM", "FLUSH")][Structure.IQ] > 1.05
+
+    # FLUSH is at or near the top for the IQ on MEM workloads.
+    flush_iq = data.normalized[("MEM", "FLUSH")][Structure.IQ]
+    best_iq = max(data.normalized[("MEM", p)][Structure.IQ]
+                  for p in ADVANCED_POLICIES)
+    assert flush_iq >= 0.8 * best_iq
+
+    # On CPU mixes the gap to the baseline is small for gating policies.
+    for policy in ("FLUSH", "STALL"):
+        ratio = data.normalized[("CPU", policy)][Structure.IQ]
+        assert 0.7 < ratio < 1.5

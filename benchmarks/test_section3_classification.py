@@ -1,0 +1,35 @@
+"""Section 3: the CPU/MEM workload classification, measured.
+
+The paper classifies each SPEC program by IPC and cache miss rate from a
+standalone simulation; this benchmark runs that procedure over all 20
+program models and asserts every one lands in the category Table 2 assigns
+it — i.e. the statistical models *behave like* their class, rather than
+merely being labelled.
+"""
+
+from conftest import save_artifact
+
+from repro.experiments.runner import ExperimentScale
+from repro.workload.characterize import characterize_all, format_characterization
+
+
+def test_section3_program_classification(benchmark):
+    scale = ExperimentScale.from_env()
+    chars = benchmark.pedantic(
+        characterize_all,
+        kwargs={"instructions": scale.instructions_per_thread,
+                "seed": scale.seed},
+        rounds=1, iterations=1,
+    )
+    save_artifact("section3_classification", format_characterization(chars))
+    disagreements = [c.program for c in chars.values()
+                     if not c.classification_agrees]
+    assert not disagreements, f"misclassified models: {disagreements}"
+    # The two classes must be well separated in throughput.
+    from repro.workload.spec2000 import Category
+
+    cpu_ipcs = [c.ipc for c in chars.values()
+                if c.declared_category is Category.CPU]
+    mem_ipcs = [c.ipc for c in chars.values()
+                if c.declared_category is Category.MEM]
+    assert min(cpu_ipcs) > max(mem_ipcs)

@@ -1,0 +1,43 @@
+"""Raw simulator-kernel throughput benchmarks (not figure reproductions).
+
+These time the hot paths with fresh state each round, so the numbers are
+honest (the figure benchmarks above reuse the shared result cache and time
+mostly cache hits after the first run).
+"""
+
+import pytest
+
+from repro.config import SimConfig
+from repro.sim.simulator import simulate
+from repro.workload.generator import generate_trace
+from repro.workload.mixes import get_mix
+from repro.workload.spec2000 import get_profile
+
+
+def test_trace_generation_throughput(benchmark):
+    profile = get_profile("gcc")
+    trace = benchmark(generate_trace, profile, 0, 5000, 1)
+    assert len(trace) == 5000
+
+
+@pytest.mark.parametrize("workload", ["2-CPU-A", "2-MEM-A"])
+def test_smt_simulation_throughput(benchmark, workload):
+    mix = get_mix(workload)
+    sim = SimConfig(max_instructions=1500 * mix.num_threads)
+
+    def run():
+        return simulate(mix, policy="ICOUNT", sim=sim)
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert result.committed >= sim.max_instructions
+
+
+def test_flush_policy_simulation(benchmark):
+    mix = get_mix("2-MEM-A")
+    sim = SimConfig(max_instructions=1500 * mix.num_threads)
+
+    def run():
+        return simulate(mix, policy="FLUSH", sim=sim)
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert result.committed >= sim.max_instructions

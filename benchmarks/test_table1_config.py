@@ -1,0 +1,58 @@
+"""Table 1: the simulated machine configuration."""
+
+from conftest import save_artifact
+
+from repro.config import MachineConfig
+
+
+def _render(config: MachineConfig) -> str:
+    rows = [
+        ("Processor Width", f"{config.fetch_width}-wide fetch/issue/commit"),
+        ("Baseline Fetch Policy", "ICOUNT"),
+        ("Pipeline Depth", str(config.pipeline_depth)),
+        ("Issue Queue", str(config.iq_entries)),
+        ("ITLB", f"{config.itlb.entries} entries, {config.itlb.assoc}-way, "
+                 f"{config.itlb.miss_latency} cycle miss"),
+        ("Branch Prediction", f"{config.branch.gshare_entries} entries Gshare, "
+                              f"{config.branch.history_bits}-bit global history per thread"),
+        ("BTB", f"{config.branch.btb_entries} entries, "
+                f"{config.branch.btb_assoc}-way per thread"),
+        ("Return Address Stack", f"{config.branch.ras_entries} entries"),
+        ("L1 Instruction Cache", f"{config.il1.size_bytes // 1024}K, "
+                                 f"{config.il1.assoc}-way, {config.il1.line_bytes} Byte/line, "
+                                 f"{config.il1.ports} ports, {config.il1.hit_latency} cycle access"),
+        ("ROB Size", f"{config.rob_entries} entries per thread"),
+        ("Load/Store Queue", f"{config.lsq_entries} entries per thread"),
+        ("Integer ALU", f"{config.int_alus} I-ALU, {config.int_mult_div} I-MUL/DIV, "
+                        f"{config.load_store_units} Load/Store"),
+        ("FP ALU", f"{config.fp_alus} FP-ALU, {config.fp_mult_div} FP-MUL/DIV/SQRT"),
+        ("DTLB", f"{config.dtlb.entries} entries, {config.dtlb.assoc}-way, "
+                 f"{config.dtlb.miss_latency} cycle miss latency"),
+        ("L1 Data Cache", f"{config.dl1.size_bytes // 1024}KB, {config.dl1.assoc}-way, "
+                          f"{config.dl1.line_bytes} Byte/line, {config.dl1.ports} ports, "
+                          f"{config.dl1.hit_latency} cycle access"),
+        ("L2 Cache", f"unified {config.l2.size_bytes // (1024 * 1024)}MB, "
+                     f"{config.l2.assoc}-way, {config.l2.line_bytes} Byte/line, "
+                     f"{config.l2.hit_latency} cycle access"),
+        ("Memory Access", f"{config.memory_latency} cycles access latency"),
+    ]
+    width = max(len(k) for k, _ in rows)
+    lines = ["Table 1. Simulated Machine Configuration"]
+    lines += [f"{k.ljust(width)}  {v}" for k, v in rows]
+    return "\n".join(lines)
+
+
+def test_table1_configuration(benchmark):
+    config = benchmark(MachineConfig)
+    text = _render(config)
+    save_artifact("table1", text)
+    # The values the paper's Table 1 states, verbatim.
+    assert config.fetch_width == 8
+    assert config.pipeline_depth == 7
+    assert config.iq_entries == 96
+    assert config.rob_entries == 96
+    assert config.lsq_entries == 48
+    assert config.il1.size_bytes == 32 * 1024
+    assert config.dl1.size_bytes == 64 * 1024
+    assert config.l2.size_bytes == 2 * 1024 * 1024
+    assert config.memory_latency == 200

@@ -1,0 +1,59 @@
+"""AVF phase behaviour: vulnerability is not constant over time.
+
+The companion study the paper builds on (its reference [8]) shows that a
+structure's AVF moves through phases as program behaviour changes, and that
+those phases are predictable enough to drive dynamic protection schemes.
+This example samples a per-window AVF time series for a mixed workload,
+prints a terminal sparkline per structure, and reports how well the
+simplest phase predictor (last value) tracks each series.
+
+Usage::
+
+    python examples/avf_phases.py [workload] [instructions-per-thread] [window]
+"""
+
+import sys
+
+from repro import SimConfig, Structure, get_mix, phase_statistics, simulate
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values, width: int = 60) -> str:
+    if not values:
+        return ""
+    if len(values) > width:  # downsample for the terminal
+        stride = len(values) / width
+        values = [values[int(i * stride)] for i in range(width)]
+    top = max(max(values), 1e-9)
+    return "".join(_BLOCKS[min(int(v / top * (len(_BLOCKS) - 1)), 8)]
+                   for v in values)
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "4-MIX-A"
+    per_thread = int(sys.argv[2]) if len(sys.argv) > 2 else 3000
+    window = int(sys.argv[3]) if len(sys.argv) > 3 else 250
+
+    mix = get_mix(workload)
+    result = simulate(
+        mix,
+        sim=SimConfig(max_instructions=per_thread * mix.num_threads,
+                      phase_window_cycles=window),
+    )
+    series = result.phase_series
+    print(f"{mix.name}: {series.windows()} windows of {window} cycles "
+          f"(IPC {result.ipc:.2f})\n")
+    for s in (Structure.IQ, Structure.ROB, Structure.REG,
+              Structure.LSQ_TAG, Structure.FU, Structure.DL1_TAG):
+        stats = phase_statistics(series, s)
+        print(f"{s.value:<8} mean={stats.mean:.3f} cov={stats.coefficient_of_variation:4.2f} "
+              f"last-value MAE={stats.last_value_mae:.3f}")
+        print(f"         {sparkline(series.avf[s])}")
+    print("\nHigh coefficient-of-variation structures are phase-rich: a"
+          " dynamic protection scheme (the paper's future work) would"
+          " engage only during their high-AVF windows.")
+
+
+if __name__ == "__main__":
+    main()

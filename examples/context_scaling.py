@@ -1,0 +1,45 @@
+"""Context scaling: vulnerability as the machine runs more threads.
+
+Sweeps 2-, 4- and 8-context CPU-bound and memory-bound workloads (Table 2)
+and prints how each structure's AVF moves — the paper's Figure 5.  The
+expected shape: shared-structure AVF (IQ especially) climbs as contexts are
+added; the register file saturates beyond 4 contexts; the DL1 data array
+moves opposite ways for CPU- and memory-bound mixes.
+
+Usage::
+
+    python examples/context_scaling.py [instructions-per-thread]
+"""
+
+import sys
+
+from repro import SimConfig, Structure, mixes_for, simulate
+
+WATCHED = (Structure.IQ, Structure.REG, Structure.FU,
+           Structure.ROB, Structure.DL1_DATA)
+
+
+def main() -> None:
+    per_thread = int(sys.argv[1]) if len(sys.argv) > 1 else 2000
+
+    for mix_type in ("CPU", "MEM"):
+        print(f"--- {mix_type}-bound workloads ---")
+        header = f"{'contexts':<9} {'IPC':>6} " + " ".join(
+            f"{s.value:>9}" for s in WATCHED)
+        print(header)
+        for n in (2, 4, 8):
+            mixes = mixes_for(n, mix_type)
+            results = [
+                simulate(m, sim=SimConfig(max_instructions=per_thread * n))
+                for m in mixes
+            ]
+            ipc = sum(r.ipc for r in results) / len(results)
+            cells = " ".join(
+                f"{sum(r.avf.avf[s] for r in results) / len(results):9.4f}"
+                for s in WATCHED)
+            print(f"{n:<9} {ipc:6.2f} {cells}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""Custom workloads: model your own program and measure its vulnerability.
+
+The statistical workload models are not limited to the built-in SPEC 2000
+profiles — any program can be described by its instruction mix, dataflow
+and memory behaviour.  This example defines a synthetic "streaming codec"
+(high ILP, sequential buffers) and a synthetic "graph walker" (pointer
+chasing, unpredictable branches), pairs each with SPEC programs, and
+compares the resulting vulnerability profiles.
+
+Usage::
+
+    python examples/custom_workload.py [instructions-per-thread]
+"""
+
+import sys
+
+from repro import SimConfig, Structure, simulate
+from repro.workload.generator import generate_trace
+from repro.workload.spec2000 import PROFILES, BenchmarkProfile, Category
+
+KB = 1024
+MB = 1024 * KB
+
+codec = BenchmarkProfile(
+    name="codec", suite="int", category=Category.CPU,
+    frac_load=0.22, frac_store=0.12, frac_branch=0.06, frac_fp=0.1,
+    working_set_bytes=32 * KB, sequential_fraction=0.9,
+    dep_distance_mean=6.0, branch_predictability=0.97, code_bytes=12 * KB,
+)
+
+graph_walker = BenchmarkProfile(
+    name="graph_walker", suite="int", category=Category.MEM,
+    frac_load=0.33, frac_store=0.06, frac_branch=0.16, frac_fp=0.0,
+    working_set_bytes=6 * MB, sequential_fraction=0.05, fresh_fraction=0.55,
+    hot_region_bytes=8 * KB, dep_distance_mean=2.0,
+    branch_predictability=0.85, code_bytes=8 * KB,
+)
+
+
+def main() -> None:
+    per_thread = int(sys.argv[1]) if len(sys.argv) > 1 else 2500
+
+    # Register the custom profiles so simulate() can find them by name.
+    PROFILES[codec.name] = codec
+    PROFILES[graph_walker.name] = graph_walker
+
+    # Inspect a generated trace before simulating.
+    trace = generate_trace(graph_walker, thread_id=0, length=2000, seed=1)
+    stats = trace.stats()
+    print(f"graph_walker trace: {stats.total} instrs, "
+          f"{stats.load_fraction:.0%} loads, "
+          f"{stats.dead_fraction:.1%} dynamically dead\n")
+
+    for programs in (["codec", "codec", "gcc", "mesa"],
+                     ["graph_walker", "graph_walker", "mcf", "twolf"]):
+        result = simulate(
+            programs,
+            policy="ICOUNT",
+            sim=SimConfig(max_instructions=per_thread * len(programs)),
+        )
+        print(f"{'+'.join(programs)}:")
+        print(f"  IPC {result.ipc:.2f}, DL1 miss {result.dl1_miss_rate:.1%}, "
+              f"L2 miss {result.l2_miss_rate:.1%}")
+        for s in (Structure.IQ, Structure.REG, Structure.ROB, Structure.DL1_TAG):
+            print(f"  {s.value:<8} AVF {result.avf.avf[s]:.4f}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Shim for environments whose pip cannot build PEP 517 editable wheels.
+
+All real metadata lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

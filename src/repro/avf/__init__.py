@@ -1,0 +1,40 @@
+"""Architectural Vulnerability Factor (AVF) engine — the paper's contribution.
+
+AVF analysis (Mukherjee et al., MICRO 2003) classifies every bit resident in
+a hardware structure as ACE (required for Architecturally Correct Execution)
+or un-ACE, and defines::
+
+    AVF(structure) = ACE-bit-cycles / (structure bits x total cycles)
+
+This package extends the methodology to SMT (the paper's contribution): every
+ACE interval carries the thread that produced it, so the engine reports both
+the aggregate AVF of each structure and the per-thread contributions —
+exactly the decomposition behind the paper's Figures 1–8.
+"""
+
+from repro.avf.structures import Structure, SHARED_STRUCTURES, PRIVATE_STRUCTURES
+from repro.avf.bits import structure_bits, entry_bits
+from repro.avf.account import VulnerabilityAccount
+from repro.avf.engine import AvfEngine
+from repro.avf.cache_avf import Dl1AvfObserver, DtlbAvfObserver
+from repro.avf.report import AvfReport
+from repro.avf.fit import FitEstimate, fit_estimate
+from repro.avf.phases import PhaseSeries, PhaseStatistics, phase_statistics
+
+__all__ = [
+    "Structure",
+    "SHARED_STRUCTURES",
+    "PRIVATE_STRUCTURES",
+    "structure_bits",
+    "entry_bits",
+    "VulnerabilityAccount",
+    "AvfEngine",
+    "Dl1AvfObserver",
+    "DtlbAvfObserver",
+    "AvfReport",
+    "FitEstimate",
+    "fit_estimate",
+    "PhaseSeries",
+    "PhaseStatistics",
+    "phase_statistics",
+]

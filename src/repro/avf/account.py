@@ -1,0 +1,101 @@
+"""ACE / un-ACE entry-cycle ledger for one structure.
+
+The pipeline reports *intervals* (an IQ entry occupied cycles 100–130 by an
+ACE instruction of thread 2) or *per-cycle samples* (FU 3 busy this cycle on
+a wrong-path instruction).  The account reduces everything to three numbers
+per thread — ACE entry-cycles, un-ACE entry-cycles — plus idle time implied
+by capacity, from which AVF, per-thread AVF contributions and utilisation
+all derive.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable
+
+from repro.errors import StructureError
+
+#: Thread id used for residency not attributable to any context.
+NO_THREAD = -1
+
+
+class VulnerabilityAccount:
+    """Entry-cycle ledger for one structure (one copy if shared).
+
+    With ``record_intervals`` enabled, every interval is additionally kept
+    verbatim in ``intervals`` as ``(thread, start, end, ace)`` tuples — the
+    raw material the fault-injection campaign replays to cross-validate the
+    summed ledgers (see :mod:`repro.faultinject`).
+    """
+
+    __slots__ = ("name", "capacity", "ace_cycles", "unace_cycles",
+                 "window_start", "intervals")
+
+    def __init__(self, name: str, capacity: int,
+                 record_intervals: bool = False) -> None:
+        if capacity <= 0:
+            raise StructureError(f"{name}: capacity must be positive")
+        self.name = name
+        self.capacity = capacity
+        self.ace_cycles: Dict[int, float] = {}
+        self.unace_cycles: Dict[int, float] = {}
+        self.window_start = 0
+        self.intervals: list | None = [] if record_intervals else None
+
+    # -- recording ---------------------------------------------------------------
+
+    def add(self, thread_id: int, entry_cycles: float, ace: bool) -> None:
+        """Record ``entry_cycles`` of residency for ``thread_id``."""
+        if entry_cycles <= 0:
+            return
+        ledger = self.ace_cycles if ace else self.unace_cycles
+        ledger[thread_id] = ledger.get(thread_id, 0.0) + entry_cycles
+
+    def add_interval(self, thread_id: int, start: int, end: int, ace: bool,
+                     fraction: float = 1.0) -> None:
+        """Record residency over ``[start, end)``, clipped to the window."""
+        lo = max(start, self.window_start)
+        if end <= lo:
+            return
+        self.add(thread_id, (end - lo) * fraction, ace)
+        if self.intervals is not None and fraction > 0:
+            self.intervals.append((thread_id, lo, end, ace))
+
+    def reset(self, cycle: int) -> None:
+        """Discard accumulated residency; future intervals clip at ``cycle``."""
+        self.ace_cycles.clear()
+        self.unace_cycles.clear()
+        if self.intervals is not None:
+            self.intervals.clear()
+        self.window_start = cycle
+
+    # -- reduction ---------------------------------------------------------------
+
+    def total_ace(self) -> float:
+        return sum(self.ace_cycles.values())
+
+    def total_unace(self) -> float:
+        return sum(self.unace_cycles.values())
+
+    def avf(self, cycles: int) -> float:
+        """ACE entry-cycles over capacity entry-cycles; always in [0, 1]."""
+        if cycles <= 0:
+            return 0.0
+        return min(self.total_ace() / (self.capacity * cycles), 1.0)
+
+    def thread_avf(self, thread_id: int, cycles: int) -> float:
+        """This thread's contribution to the structure's AVF."""
+        if cycles <= 0:
+            return 0.0
+        return min(self.ace_cycles.get(thread_id, 0.0) / (self.capacity * cycles), 1.0)
+
+    def utilization(self, cycles: int) -> float:
+        """Occupied (ACE + un-ACE) fraction of capacity entry-cycles."""
+        if cycles <= 0:
+            return 0.0
+        occupied = self.total_ace() + self.total_unace()
+        return min(occupied / (self.capacity * cycles), 1.0)
+
+    def threads(self) -> Iterable[int]:
+        seen = set(self.ace_cycles) | set(self.unace_cycles)
+        seen.discard(NO_THREAD)
+        return sorted(seen)

@@ -1,0 +1,106 @@
+"""Per-entry bit widths of the tracked structures.
+
+Per-structure AVF is a ratio of ACE entry-cycles to capacity entry-cycles,
+so the absolute widths cancel within a structure; they matter only for the
+whole-processor AVF aggregation (`AvfReport.processor_avf`), which weights
+each structure by its total bit count — the aggregation rule the paper's
+Section 2 describes.  The widths below follow a generic 64-bit out-of-order
+core with 44-bit physical addresses.
+"""
+
+from __future__ import annotations
+
+from repro.avf.structures import Structure
+from repro.config import MachineConfig
+
+#: Issue-queue entry: opcode/control (16) + two source tags (2x8) + dest tag
+#: (8) + ROB index (8) + thread id (3) + immediate/status (21).
+IQ_ENTRY_BITS = 64
+
+#: ROB entry: PC (44) + arch dest (6) + new/old physical mappings (2x8) +
+#: completion/exception status (6).
+ROB_ENTRY_BITS = 72
+
+#: One functional unit's latched state: two operands + result (3x64) + opcode
+#: and control latches (16).
+FU_BITS = 208
+
+#: One physical register (data bits only).
+PHYS_REG_BITS = 64
+
+#: LSQ address/tag half: virtual address (44) + size/status (8).
+LSQ_TAG_ENTRY_BITS = 52
+
+#: LSQ data half: one 64-bit word.
+LSQ_DATA_ENTRY_BITS = 64
+
+#: Tracked DL1 data word (the cache AVF model works at 8-byte granularity).
+DL1_WORD_BITS = 64
+
+#: DTLB entry: VPN tag (28) + PPN (28) + permissions/ASID (8).
+DTLB_ENTRY_BITS = 64
+
+
+def dl1_tag_bits(config: MachineConfig) -> int:
+    """Tag-array bits per DL1 line: 44-bit address minus offset/index, +V/D."""
+    offset_bits = config.dl1.line_bytes.bit_length() - 1
+    index_bits = config.dl1.num_sets.bit_length() - 1
+    return 44 - offset_bits - index_bits + 2
+
+
+def entry_bits(structure: Structure, config: MachineConfig) -> int:
+    """Bits per tracked entry of ``structure``."""
+    table = {
+        Structure.IQ: IQ_ENTRY_BITS,
+        Structure.ROB: ROB_ENTRY_BITS,
+        Structure.FU: FU_BITS,
+        Structure.REG: PHYS_REG_BITS,
+        Structure.LSQ_TAG: LSQ_TAG_ENTRY_BITS,
+        Structure.LSQ_DATA: LSQ_DATA_ENTRY_BITS,
+        Structure.DL1_DATA: DL1_WORD_BITS,
+        Structure.DL1_TAG: dl1_tag_bits(config),
+        Structure.DTLB: DTLB_ENTRY_BITS,
+    }
+    return table[structure]
+
+
+def total_fus(config: MachineConfig) -> int:
+    return (config.int_alus + config.int_mult_div + config.load_store_units
+            + config.fp_alus + config.fp_mult_div)
+
+
+def structure_capacity(structure: Structure, config: MachineConfig,
+                       num_threads: int) -> int:
+    """Tracked entries of ``structure`` in a machine with ``num_threads`` contexts.
+
+    Private structures report their *per-thread* capacity (the account holds
+    one copy per context).
+    """
+    table = {
+        Structure.IQ: config.iq_entries,
+        Structure.ROB: config.rob_entries,
+        Structure.FU: total_fus(config),
+        # Physical file = rename pool + per-thread architectural backing
+        # (32 INT + 32 FP per context); matches the pipeline's sizing.
+        Structure.REG: (config.int_phys_regs + config.fp_phys_regs
+                        + 64 * num_threads),
+        Structure.LSQ_TAG: config.lsq_entries,
+        Structure.LSQ_DATA: config.lsq_entries,
+        Structure.DL1_DATA: config.dl1.num_lines * (config.dl1.line_bytes // 8),
+        Structure.DL1_TAG: config.dl1.num_lines,
+        Structure.DTLB: config.dtlb.entries,
+    }
+    return table[structure]
+
+
+def structure_bits(structure: Structure, config: MachineConfig,
+                   num_threads: int) -> int:
+    """Total machine bits of ``structure`` (private structures x contexts)."""
+    from repro.avf.structures import PRIVATE_STRUCTURES
+
+    per_copy = entry_bits(structure, config) * structure_capacity(
+        structure, config, num_threads
+    )
+    if structure in PRIVATE_STRUCTURES:
+        return per_copy * num_threads
+    return per_copy

@@ -1,0 +1,98 @@
+"""ACE classification of address-based structures (DL1 and DTLB).
+
+Implements the address-based-structure methodology of Biswas et al.
+(ISCA 2005) at the granularity our content model keeps:
+
+**DL1 data array** (per 8-byte word within each line)
+  * a word that is read is ACE from its fill (or last producing write) until
+    its last read — a strike in that window feeds a wrong value to the core;
+  * a dirty word is additionally ACE from its last write until eviction —
+    the writeback must deliver it to memory intact;
+  * a clean, never-read word is un-ACE for its whole residency.  This is
+    exactly why the paper finds the DL1 *data* AVF below the DL1 *tag* AVF:
+    only the accessed fraction of each block matters.
+
+**DL1 tag array** (per line)
+  * tag bits are consulted on *every* lookup, so the tag is ACE from fill to
+    the line's last access, and all the way to eviction when the line is
+    dirty (a corrupted tag loses the writeback).
+
+**DTLB** (per entry)
+  * a translation is ACE from fill until its last use; entries never used
+    again before eviction are un-ACE.
+"""
+
+from __future__ import annotations
+
+from repro.avf.account import VulnerabilityAccount
+from repro.memory.cache import CacheLine
+from repro.memory.tlb import TlbEntry
+
+
+def _union_length(a_start: int, a_end: int, b_start: int, b_end: int) -> int:
+    """Length of the union of two (possibly empty/overlapping) intervals."""
+    len_a = max(0, a_end - a_start)
+    len_b = max(0, b_end - b_start)
+    if len_a == 0:
+        return len_b
+    if len_b == 0:
+        return len_a
+    overlap = max(0, min(a_end, b_end) - max(a_start, b_start))
+    return len_a + len_b - overlap
+
+
+class Dl1AvfObserver:
+    """Cache observer feeding the DL1 data/tag vulnerability accounts."""
+
+    def __init__(self, data_account: VulnerabilityAccount,
+                 tag_account: VulnerabilityAccount) -> None:
+        self._data = data_account
+        self._tag = tag_account
+
+    def on_evict(self, line: CacheLine, cycle: int) -> None:
+        fill = line.fill_cycle
+        residency = max(0, cycle - fill)
+        if residency == 0:
+            return
+        thread = line.thread_id
+
+        # --- data array: per-word ACE intervals -------------------------------
+        for w in range(len(line.word_last_read)):
+            last_read = line.word_last_read[w]
+            last_write = line.word_last_write[w]
+            read_start = max(fill, self._data.window_start)
+            # Window of exposure while the word's value still feeds the core.
+            read_ace = (read_start, last_read) if last_read > read_start else (0, 0)
+            # Dirty words must survive until the writeback at eviction.
+            dirty_ace = (max(last_write, fill), cycle) if line.word_dirty[w] else (0, 0)
+            ace = _union_length(*read_ace, *dirty_ace)
+            ace = min(ace, residency)
+            self._data.add(thread, ace, ace=True)
+            self._data.add(thread, residency - ace, ace=False)
+
+        # --- tag array ----------------------------------------------------------
+        if line.dirty:
+            tag_ace = residency
+        elif line.last_access_cycle > fill:
+            tag_ace = line.last_access_cycle - fill
+        else:
+            tag_ace = 0
+        self._tag.add(thread, tag_ace, ace=True)
+        self._tag.add(thread, residency - tag_ace, ace=False)
+
+
+class DtlbAvfObserver:
+    """TLB observer feeding the DTLB vulnerability account."""
+
+    def __init__(self, account: VulnerabilityAccount) -> None:
+        self._account = account
+
+    def on_evict(self, entry: TlbEntry, cycle: int) -> None:
+        fill = entry.fill_cycle
+        residency = max(0, cycle - fill)
+        if residency == 0:
+            return
+        ace = max(0, entry.last_use_cycle - fill) if entry.uses > 1 else 0
+        ace = min(ace, residency)
+        self._account.add(entry.thread_id, ace, ace=True)
+        self._account.add(entry.thread_id, residency - ace, ace=False)

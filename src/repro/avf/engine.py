@@ -1,0 +1,114 @@
+"""AVF engine: owns every structure's ledger and builds the final report.
+
+Shared structures (IQ, FU, register file, DL1, DTLB) have a single account;
+per-thread structures (ROB, LSQ) have one account per context, and their
+reported structure AVF is the mean over contexts (each context owns a
+private copy of the hardware).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.avf.account import VulnerabilityAccount
+from repro.avf.bits import structure_capacity
+from repro.avf.cache_avf import Dl1AvfObserver, DtlbAvfObserver
+from repro.avf.report import AvfReport
+from repro.avf.structures import PRIVATE_STRUCTURES, SHARED_STRUCTURES, Structure
+from repro.config import MachineConfig
+from repro.errors import StructureError
+
+
+class AvfEngine:
+    """Central ACE-bit accounting for one simulation."""
+
+    def __init__(self, config: MachineConfig, num_threads: int,
+                 record_intervals: bool = False) -> None:
+        self.config = config
+        self.num_threads = num_threads
+        self.record_intervals = record_intervals
+        self._shared: Dict[Structure, VulnerabilityAccount] = {}
+        self._private: Dict[Structure, Dict[int, VulnerabilityAccount]] = {}
+        for structure in Structure:
+            capacity = structure_capacity(structure, config, num_threads)
+            if structure in SHARED_STRUCTURES:
+                self._shared[structure] = VulnerabilityAccount(
+                    structure.value, capacity, record_intervals)
+            else:
+                self._private[structure] = {
+                    tid: VulnerabilityAccount(f"{structure.value}[t{tid}]",
+                                              capacity, record_intervals)
+                    for tid in range(num_threads)
+                }
+        self.dl1_observer = Dl1AvfObserver(
+            self._shared[Structure.DL1_DATA], self._shared[Structure.DL1_TAG]
+        )
+        self.dtlb_observer = DtlbAvfObserver(self._shared[Structure.DTLB])
+
+    # -- account access ------------------------------------------------------------
+
+    def account(self, structure: Structure,
+                thread_id: Optional[int] = None) -> VulnerabilityAccount:
+        """The ledger for ``structure`` (``thread_id`` required if private)."""
+        if structure in SHARED_STRUCTURES:
+            return self._shared[structure]
+        if thread_id is None:
+            raise StructureError(f"{structure} is per-thread; thread_id required")
+        return self._private[structure][thread_id]
+
+    # -- accrual shortcuts used by the pipeline -------------------------------------
+
+    def occupy(self, structure: Structure, thread_id: int, start: int, end: int,
+               ace: bool) -> None:
+        """Record one entry of ``structure`` occupied over ``[start, end)``."""
+        self.account(structure, thread_id).add_interval(thread_id, start, end, ace)
+
+    def fu_busy_cycle(self, thread_id: int, ace: bool, cycle: int = -1) -> None:
+        """Record one functional unit busy for one cycle."""
+        account = self._shared[Structure.FU]
+        if account.intervals is not None and cycle >= 0:
+            account.add_interval(thread_id, cycle, cycle + 1, ace)
+        else:
+            account.add(thread_id, 1.0, ace)
+
+    def reg_lifetime(self, thread_id: int, alloc: int, written: int,
+                     last_read: int, freed: int, ace: bool) -> None:
+        """Record one physical register's full allocation lifetime.
+
+        [alloc, written) holds no valid data (un-ACE, per the paper's register
+        life-cycle analysis); [written, last_read) is ACE when the value has
+        ACE consumers; the remainder until ``freed`` is un-ACE.
+        """
+        account = self._shared[Structure.REG]
+        if written < 0:  # squashed before producing a value
+            account.add_interval(thread_id, alloc, freed, ace=False)
+            return
+        account.add_interval(thread_id, alloc, min(written, freed), ace=False)
+        if ace and last_read > written:
+            end_ace = min(last_read, freed)
+            account.add_interval(thread_id, written, end_ace, ace=True)
+            account.add_interval(thread_id, end_ace, freed, ace=False)
+        else:
+            account.add_interval(thread_id, min(written, freed), freed, ace=False)
+
+    def reset(self, cycle: int) -> None:
+        """Zero all ledgers (end-of-warmup)."""
+        for account in self._shared.values():
+            account.reset(cycle)
+        for per_thread in self._private.values():
+            for account in per_thread.values():
+                account.reset(cycle)
+
+    # -- reduction -------------------------------------------------------------------
+
+    def report(self, cycles: int) -> AvfReport:
+        """Reduce all ledgers into an :class:`AvfReport` over ``cycles``."""
+        return AvfReport.from_engine(self, cycles)
+
+    @property
+    def shared_accounts(self) -> Dict[Structure, VulnerabilityAccount]:
+        return dict(self._shared)
+
+    @property
+    def private_accounts(self) -> Dict[Structure, Dict[int, VulnerabilityAccount]]:
+        return {s: dict(a) for s, a in self._private.items()}

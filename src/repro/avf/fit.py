@@ -1,0 +1,77 @@
+"""FIT-rate and MTTF estimation from AVF.
+
+Section 2 of the paper: "The overall hardware structure's error rate is
+decided by two factors: the device raw error rate ... and the AVF."  Given
+a raw soft-error rate per bit (technology-dependent; the classic planning
+number is ~1e-3 FIT/bit, i.e. 1000 FIT/Mbit), a structure's contribution is
+
+    FIT(structure) = raw_fit_per_bit x bits(structure) x AVF(structure)
+
+and the processor-level rate is the sum over protected^W tracked
+structures.  MTTF follows as 1e9 hours / FIT.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.avf.report import AvfReport
+from repro.avf.structures import Structure
+from repro.errors import ConfigError
+
+#: A common technology planning number: 1 milli-FIT per bit.
+DEFAULT_RAW_FIT_PER_BIT = 1e-3
+
+_HOURS_PER_YEAR = 24.0 * 365.25
+
+
+@dataclass
+class FitEstimate:
+    """Failure-rate breakdown derived from one AVF report."""
+
+    raw_fit_per_bit: float
+    per_structure: Dict[Structure, float] = field(default_factory=dict)
+
+    @property
+    def total_fit(self) -> float:
+        return sum(self.per_structure.values())
+
+    @property
+    def mttf_hours(self) -> float:
+        total = self.total_fit
+        return float("inf") if total <= 0 else 1e9 / total
+
+    @property
+    def mttf_years(self) -> float:
+        hours = self.mttf_hours
+        return float("inf") if hours == float("inf") else hours / _HOURS_PER_YEAR
+
+    def dominant_structure(self) -> Structure:
+        """The structure contributing the most failures — the paper's
+        "vulnerability hotspot" that architects should protect first."""
+        return max(self.per_structure, key=self.per_structure.get)
+
+    def summary(self) -> str:
+        lines = [f"{'structure':<10} {'bits':>9} {'FIT':>10} {'share':>7}"]
+        total = self.total_fit
+        for s, fit in sorted(self.per_structure.items(),
+                             key=lambda kv: -kv[1]):
+            share = fit / total if total else 0.0
+            lines.append(f"{s.value:<10} {'':>9} {fit:10.3f} {share:7.1%}")
+        lines.append(f"total FIT {total:.3f}  (MTTF {self.mttf_years:.1f} years)")
+        return "\n".join(lines)
+
+
+def fit_estimate(report: AvfReport,
+                 raw_fit_per_bit: float = DEFAULT_RAW_FIT_PER_BIT) -> FitEstimate:
+    """Convert an AVF report into a per-structure FIT breakdown."""
+    if raw_fit_per_bit <= 0:
+        raise ConfigError("raw_fit_per_bit must be positive")
+    estimate = FitEstimate(raw_fit_per_bit=raw_fit_per_bit)
+    for s in Structure:
+        if s in report.avf:
+            estimate.per_structure[s] = (
+                raw_fit_per_bit * report.bits[s] * report.avf[s]
+            )
+    return estimate

@@ -1,0 +1,18 @@
+"""Per-thread branch prediction: gshare + BTB + return address stack.
+
+Table 1 gives every thread its own 2K-entry gshare predictor with a 10-bit
+global history, a 2K-entry 4-way BTB and a 32-entry return address stack.
+"""
+
+from repro.branch.gshare import GsharePredictor
+from repro.branch.btb import BranchTargetBuffer
+from repro.branch.ras import ReturnAddressStack
+from repro.branch.unit import BranchUnit, BranchPrediction
+
+__all__ = [
+    "GsharePredictor",
+    "BranchTargetBuffer",
+    "ReturnAddressStack",
+    "BranchUnit",
+    "BranchPrediction",
+]

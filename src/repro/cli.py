@@ -1,0 +1,240 @@
+"""Command-line interface: run simulations and regenerate paper artefacts.
+
+Installed as the ``repro-sim`` console script::
+
+    repro-sim list                              # workloads, policies, programs
+    repro-sim run 4-MIX-A --policy FLUSH -n 2500
+    repro-sim run mcf twolf --policy ICOUNT     # ad-hoc program list
+    repro-sim figure 1 --scale 1200             # any of 1..8
+    repro-sim inject 2-MIX-A --strikes 10000    # AVF-vs-injection check
+    repro-sim fit 4-CPU-A                       # FIT/MTTF breakdown
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.avf.fit import DEFAULT_RAW_FIT_PER_BIT, fit_estimate
+from repro.config import SimConfig
+from repro.errors import ReproError
+from repro.fetch.registry import EXTENSION_POLICY_NAMES, POLICY_NAMES
+from repro.sim.simulator import simulate
+from repro.workload.mixes import TABLE2_MIXES, get_mix
+from repro.workload.spec2000 import PROFILES
+
+
+def _resolve_workload(tokens: List[str]):
+    """One token naming a Table 2 mix, or several naming SPEC programs."""
+    if len(tokens) == 1 and tokens[0] in TABLE2_MIXES:
+        return get_mix(tokens[0])
+    unknown = [t for t in tokens if t not in PROFILES]
+    if unknown:
+        raise ReproError(
+            f"unknown workload/programs {unknown}; use 'repro-sim list'")
+    return tokens
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    print("Table 2 workloads:")
+    for name in sorted(TABLE2_MIXES):
+        mix = TABLE2_MIXES[name]
+        print(f"  {name:<10} {', '.join(mix.programs)}")
+    print("\nFetch policies (paper):", ", ".join(POLICY_NAMES))
+    print("Fetch policies (Section 5 extensions):",
+          ", ".join(EXTENSION_POLICY_NAMES))
+    print("\nSPEC CPU 2000 program models:", ", ".join(sorted(PROFILES)))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    workload = _resolve_workload(args.workload)
+    threads = (workload.num_threads if hasattr(workload, "num_threads")
+               else len(workload))
+    sim = SimConfig(max_instructions=args.instructions * threads,
+                    seed=args.seed,
+                    phase_window_cycles=args.phase_window)
+    result = simulate(workload, policy=args.policy, sim=sim)
+    print(result.summary())
+    if result.phase_series is not None:
+        from repro.avf.phases import phase_statistics
+        from repro.avf.structures import Structure
+
+        print(f"\nAVF phases ({result.phase_series.windows()} windows of "
+              f"{args.phase_window} cycles):")
+        for s in (Structure.IQ, Structure.ROB, Structure.REG):
+            stats = phase_statistics(result.phase_series, s)
+            print(f"  {s.value:<6} mean={stats.mean:.4f} "
+                  f"cov={stats.coefficient_of_variation:.2f} "
+                  f"last-value MAE={stats.last_value_mae:.4f}")
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    import os
+
+    if args.scale:
+        os.environ["REPRO_SCALE"] = str(args.scale)
+    from repro import experiments
+
+    runners = {
+        1: (experiments.run_figure1, experiments.format_figure1),
+        2: (experiments.run_figure2, experiments.format_figure2),
+        3: (experiments.run_figure3, experiments.format_figure3),
+        4: (experiments.run_figure4, experiments.format_figure4),
+        5: (experiments.run_figure5, experiments.format_figure5),
+        6: (experiments.run_figure6, experiments.format_figure6),
+        7: (experiments.run_figure7, experiments.format_figure7),
+        8: (experiments.run_figure8, experiments.format_figure8),
+    }
+    run, fmt = runners[args.number]
+    print(fmt(run()))
+    return 0
+
+
+def _cmd_inject(args: argparse.Namespace) -> int:
+    from repro.faultinject import run_campaign
+
+    workload = _resolve_workload(args.workload)
+    threads = (workload.num_threads if hasattr(workload, "num_threads")
+               else len(workload))
+    result = run_campaign(
+        workload,
+        injections=args.strikes,
+        sim=SimConfig(max_instructions=args.instructions * threads,
+                      seed=args.seed),
+    )
+    print(result.summary())
+    return 0
+
+
+def _cmd_rmt(args: argparse.Namespace) -> int:
+    from repro.rmt import coverage_analysis, run_redundant
+
+    result = run_redundant(args.program, instructions=args.instructions,
+                           seed=args.seed)
+    print(result.summary())
+    if args.coverage:
+        print()
+        cov = coverage_analysis(args.program, injections=args.strikes,
+                                instructions=min(args.instructions, 2000),
+                                seed=args.seed)
+        print(cov.summary())
+    return 0
+
+
+def _cmd_reproduce(args: argparse.Namespace) -> int:
+    import os
+    from pathlib import Path
+
+    if args.scale:
+        os.environ["REPRO_SCALE"] = str(args.scale)
+    from repro.experiments.reproduce import ARTEFACTS, run_all
+
+    only = args.only.split(",") if args.only else None
+    if only:
+        unknown = [n for n in only if n not in ARTEFACTS]
+        if unknown:
+            raise ReproError(f"unknown artefacts {unknown}; "
+                             f"known: {sorted(ARTEFACTS)}")
+
+    def progress(name: str, elapsed: float) -> None:
+        print(f"  {name:<28} {elapsed:6.1f}s")
+
+    print(f"Reproducing into {args.out} ...")
+    report = run_all(Path(args.out), only=only, progress=progress)
+    print(f"report: {report}")
+    return 0
+
+
+def _cmd_fit(args: argparse.Namespace) -> int:
+    workload = _resolve_workload(args.workload)
+    threads = (workload.num_threads if hasattr(workload, "num_threads")
+               else len(workload))
+    sim = SimConfig(max_instructions=args.instructions * threads, seed=args.seed)
+    result = simulate(workload, policy=args.policy, sim=sim)
+    estimate = fit_estimate(result.avf, raw_fit_per_bit=args.raw_fit)
+    print(estimate.summary())
+    print(f"\nvulnerability hotspot: {estimate.dominant_structure().value} "
+          f"(protect this structure first — paper Section 5)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-sim",
+        description="Reliability-aware SMT simulator (ISPASS 2007 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list workloads, policies and programs")
+
+    run = sub.add_parser("run", help="simulate one workload")
+    run.add_argument("workload", nargs="+",
+                     help="a Table 2 mix name or SPEC program names")
+    run.add_argument("--policy", default="ICOUNT")
+    run.add_argument("-n", "--instructions", type=int, default=2500,
+                     help="instructions per thread (default 2500)")
+    run.add_argument("--seed", type=int, default=1)
+    run.add_argument("--phase-window", type=int, default=0,
+                     help="AVF phase window in cycles (0 = off)")
+
+    fig = sub.add_parser("figure", help="regenerate a paper figure")
+    fig.add_argument("number", type=int, choices=range(1, 9))
+    fig.add_argument("--scale", type=int, default=None,
+                     help="instructions per thread (sets REPRO_SCALE)")
+
+    inject = sub.add_parser("inject", help="fault-injection campaign")
+    inject.add_argument("workload", nargs="+")
+    inject.add_argument("--strikes", type=int, default=5000)
+    inject.add_argument("-n", "--instructions", type=int, default=2500)
+    inject.add_argument("--seed", type=int, default=1)
+
+    rmt = sub.add_parser("rmt", help="redundant-multithreading trade-off")
+    rmt.add_argument("program")
+    rmt.add_argument("-n", "--instructions", type=int, default=2000)
+    rmt.add_argument("--coverage", action="store_true",
+                     help="also run the strike-coverage analysis")
+    rmt.add_argument("--strikes", type=int, default=5000)
+    rmt.add_argument("--seed", type=int, default=1)
+
+    repro = sub.add_parser("reproduce",
+                           help="regenerate all paper artefacts into a directory")
+    repro.add_argument("--out", default="reproduction")
+    repro.add_argument("--scale", type=int, default=None)
+    repro.add_argument("--only", default=None,
+                       help="comma-separated artefact names (default: all)")
+
+    fit = sub.add_parser("fit", help="FIT/MTTF estimate for a workload")
+    fit.add_argument("workload", nargs="+")
+    fit.add_argument("--policy", default="ICOUNT")
+    fit.add_argument("-n", "--instructions", type=int, default=2500)
+    fit.add_argument("--seed", type=int, default=1)
+    fit.add_argument("--raw-fit", type=float, default=DEFAULT_RAW_FIT_PER_BIT,
+                     help="raw soft-error rate per bit in FIT")
+    return parser
+
+
+_COMMANDS = {
+    "list": _cmd_list,
+    "run": _cmd_run,
+    "figure": _cmd_figure,
+    "inject": _cmd_inject,
+    "fit": _cmd_fit,
+    "rmt": _cmd_rmt,
+    "reproduce": _cmd_reproduce,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

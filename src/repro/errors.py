@@ -1,0 +1,32 @@
+"""Exception hierarchy for the repro simulator.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch library failures without catching unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """A machine or simulation configuration value is invalid."""
+
+
+class WorkloadError(ReproError):
+    """A workload mix or benchmark profile is malformed or unknown."""
+
+
+class StructureError(ReproError):
+    """A microarchitecture structure was used inconsistently.
+
+    Raised for protocol violations such as freeing a physical register twice,
+    committing an incomplete ROB head, or deallocating an empty queue; these
+    indicate a simulator bug, not a modelled hardware condition.
+    """
+
+
+class SimulationError(ReproError):
+    """The simulation reached an inconsistent state and cannot continue."""

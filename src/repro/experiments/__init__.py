@@ -1,0 +1,35 @@
+"""Experiment harness: one module per paper figure.
+
+Every evaluation artefact of the paper has a ``run_*`` function returning a
+structured result and a ``format_*`` function printing the same rows/series
+the figure plots.  Runs are cached per (workload, policy, scale, seed) so
+figures sharing simulations (1↔2, 6↔7↔8) reuse them.
+
+The ``scale`` parameter is the per-thread instruction budget; the paper's
+runs are 25M instructions per context (Section 3), ours default to
+2,500 — the ~10,000x wall-clock scale-down justified in DESIGN.md.
+"""
+
+from repro.experiments.runner import ExperimentScale, ResultCache, default_cache
+from repro.experiments.fig1_avf_profile import run_figure1, format_figure1
+from repro.experiments.fig2_efficiency import run_figure2, format_figure2
+from repro.experiments.fig3_smt_vs_st import run_figure3, format_figure3
+from repro.experiments.fig4_smt_vs_st_efficiency import run_figure4, format_figure4
+from repro.experiments.fig5_context_scaling import run_figure5, format_figure5
+from repro.experiments.fig6_fetch_policies import run_figure6, format_figure6
+from repro.experiments.fig7_policy_efficiency import run_figure7, format_figure7
+from repro.experiments.fig8_fairness import run_figure8, format_figure8
+
+__all__ = [
+    "ExperimentScale",
+    "ResultCache",
+    "default_cache",
+    "run_figure1", "format_figure1",
+    "run_figure2", "format_figure2",
+    "run_figure3", "format_figure3",
+    "run_figure4", "format_figure4",
+    "run_figure5", "format_figure5",
+    "run_figure6", "format_figure6",
+    "run_figure7", "format_figure7",
+    "run_figure8", "format_figure8",
+]

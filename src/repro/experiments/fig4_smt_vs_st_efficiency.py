@@ -1,0 +1,62 @@
+"""Figure 4: reliability efficiency (IPC/AVF), SMT vs single-thread.
+
+Shares all simulations with Figure 3.  Per thread, IPC/AVF in standalone
+execution uses the thread's own IPC and the structure AVF of its solo run;
+under SMT it uses the thread's SMT IPC and its AVF *contribution*.  The
+paper's key check: for the FU the two are equal (the metric cancels the
+execution-time stretch when the work is identical).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.avf.structures import Structure
+from repro.experiments.fig3_smt_vs_st import FIG3_STRUCTURES, run_figure3
+from repro.experiments.formatting import render_table
+from repro.experiments.runner import ExperimentScale, ResultCache
+from repro.metrics.reliability import reliability_efficiency
+
+
+@dataclass
+class Figure4Row:
+    workload: str
+    program: str
+    st: Dict[Structure, float] = field(default_factory=dict)
+    smt: Dict[Structure, float] = field(default_factory=dict)
+
+
+@dataclass
+class Figure4Data:
+    rows: List[Figure4Row] = field(default_factory=list)
+
+
+def run_figure4(scale: Optional[ExperimentScale] = None,
+                cache: Optional[ResultCache] = None,
+                workload_names: Optional[List[str]] = None) -> Figure4Data:
+    fig3 = run_figure3(scale=scale, cache=cache, workload_names=workload_names)
+    data = Figure4Data()
+    for comp in fig3.workloads:
+        for tc in comp.threads:
+            row = Figure4Row(workload=comp.workload, program=tc.program)
+            for s in FIG3_STRUCTURES:
+                row.st[s] = reliability_efficiency(tc.st_ipc, tc.st_avf[s])
+                row.smt[s] = reliability_efficiency(tc.smt_ipc, tc.smt_avf[s])
+            data.rows.append(row)
+    return data
+
+
+def format_figure4(data: Figure4Data) -> str:
+    header = ["workload/thread",
+              *(f"{s.value}_ST" for s in FIG3_STRUCTURES),
+              *(f"{s.value}_SMT" for s in FIG3_STRUCTURES)]
+    rows: List[List[object]] = []
+    for r in data.rows:
+        rows.append([f"{r.workload}:{r.program}",
+                     *(r.st[s] for s in FIG3_STRUCTURES),
+                     *(r.smt[s] for s in FIG3_STRUCTURES)])
+    return render_table(
+        "Figure 4: reliability efficiency IPC/AVF — SMT vs single-thread",
+        header, rows,
+    )

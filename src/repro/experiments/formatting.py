@@ -1,0 +1,30 @@
+"""Plain-text table rendering for experiment outputs."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def render_table(title: str, header: Sequence[str],
+                 rows: Sequence[Sequence[object]]) -> str:
+    """Fixed-width ASCII table with a title line."""
+    str_rows: List[List[str]] = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in header]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [title]
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(header)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.rjust(widths[i]) if i else cell.ljust(widths[i])
+                               for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell == float("inf"):
+            return "inf"
+        return f"{cell:.4f}" if abs(cell) < 100 else f"{cell:.1f}"
+    return str(cell)

@@ -1,0 +1,96 @@
+"""Multi-seed replication: statistical robustness for any experiment.
+
+The paper averages over workload groups A and B to avoid bias toward one
+thread set; the statistical workload models add a second axis — the
+generator seed.  This helper reruns a measurement across seeds and reports
+mean and spread, so any figure's stability can be quantified (and any
+shape assertion checked against noise rather than one draw).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from repro.avf.structures import Structure
+from repro.config import DEFAULT_CONFIG, MachineConfig, SimConfig
+from repro.errors import ConfigError
+from repro.sim.results import SimResult
+from repro.sim.simulator import simulate
+from repro.workload.mixes import WorkloadMix
+
+
+@dataclass
+class SeedStatistics:
+    """Mean / min / max / stdev of one scalar across seeds."""
+
+    values: List[float] = field(default_factory=list)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.values) / len(self.values) if self.values else 0.0
+
+    @property
+    def std(self) -> float:
+        n = len(self.values)
+        if n < 2:
+            return 0.0
+        m = self.mean
+        return (sum((v - m) ** 2 for v in self.values) / (n - 1)) ** 0.5
+
+    @property
+    def spread(self) -> float:
+        """Relative spread: (max - min) / mean (0 when degenerate)."""
+        if not self.values or self.mean == 0:
+            return 0.0
+        return (max(self.values) - min(self.values)) / self.mean
+
+
+@dataclass
+class MultiSeedResult:
+    """Per-structure AVF and IPC statistics across seeds."""
+
+    workload: str
+    policy: str
+    seeds: Sequence[int]
+    ipc: SeedStatistics = field(default_factory=SeedStatistics)
+    avf: Dict[Structure, SeedStatistics] = field(default_factory=dict)
+    runs: List[SimResult] = field(default_factory=list)
+
+    def summary(self) -> str:
+        lines = [f"{self.workload} [{self.policy}] over seeds {list(self.seeds)}:",
+                 f"  IPC  mean={self.ipc.mean:.3f} std={self.ipc.std:.3f}"]
+        for s, stat in self.avf.items():
+            lines.append(f"  {s.value:<9} mean={stat.mean:.4f} "
+                         f"std={stat.std:.4f} spread={stat.spread:.2f}")
+        return "\n".join(lines)
+
+
+def run_multiseed(workload: Union[WorkloadMix, Sequence[str]],
+                  seeds: Sequence[int] = (1, 2, 3),
+                  policy: str = "ICOUNT",
+                  instructions_per_thread: int = 2000,
+                  config: Optional[MachineConfig] = None,
+                  structures: Optional[Sequence[Structure]] = None) -> MultiSeedResult:
+    """Run one workload/policy point under several generator seeds."""
+    if len(seeds) < 1:
+        raise ConfigError("need at least one seed")
+    config = config or DEFAULT_CONFIG
+    threads = (workload.num_threads if isinstance(workload, WorkloadMix)
+               else len(list(workload)))
+    tracked = tuple(structures) if structures else tuple(Structure)
+    name = (workload.name if isinstance(workload, WorkloadMix)
+            else "+".join(workload))
+    out = MultiSeedResult(workload=name, policy=policy, seeds=tuple(seeds),
+                          avf={s: SeedStatistics() for s in tracked})
+    for seed in seeds:
+        result = simulate(
+            workload, policy=policy, config=config,
+            sim=SimConfig(max_instructions=instructions_per_thread * threads,
+                          seed=seed),
+        )
+        out.runs.append(result)
+        out.ipc.values.append(result.ipc)
+        for s in tracked:
+            out.avf[s].values.append(result.avf.avf[s])
+    return out

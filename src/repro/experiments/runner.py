@@ -1,0 +1,98 @@
+"""Shared experiment plumbing: scaling, run caching, workload averaging."""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.avf.structures import Structure
+from repro.config import DEFAULT_CONFIG, MachineConfig, SimConfig
+from repro.sim.results import SimResult
+from repro.sim.simulator import simulate, simulate_single_thread
+from repro.workload.mixes import WorkloadMix, mixes_for
+
+#: Environment knob for benchmark runs: per-thread instruction budget.
+SCALE_ENV_VAR = "REPRO_SCALE"
+
+MIX_TYPES = ("CPU", "MIX", "MEM")
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Run-length/seed settings shared by a family of experiment runs."""
+
+    instructions_per_thread: int = 2500
+    seed: int = 1
+
+    @classmethod
+    def from_env(cls) -> "ExperimentScale":
+        """Scale from ``REPRO_SCALE`` (per-thread instructions), default 2500."""
+        raw = os.environ.get(SCALE_ENV_VAR)
+        return cls(instructions_per_thread=int(raw) if raw else 2500)
+
+    def sim_config(self, num_threads: int) -> SimConfig:
+        return SimConfig(
+            max_instructions=self.instructions_per_thread * num_threads,
+            seed=self.seed,
+        )
+
+
+class ResultCache:
+    """Memoises simulations so figures sharing runs do not repeat them."""
+
+    def __init__(self, config: Optional[MachineConfig] = None) -> None:
+        self.config = config or DEFAULT_CONFIG
+        self._smt: Dict[Tuple, SimResult] = {}
+        self._st: Dict[Tuple, SimResult] = {}
+
+    def smt(self, mix: WorkloadMix, policy: str, scale: ExperimentScale) -> SimResult:
+        key = (mix.name, policy, scale.instructions_per_thread, scale.seed)
+        if key not in self._smt:
+            self._smt[key] = simulate(mix, policy=policy, config=self.config,
+                                      sim=scale.sim_config(mix.num_threads))
+        return self._smt[key]
+
+    def single_thread(self, program: str, instructions: int,
+                      scale: ExperimentScale) -> SimResult:
+        """Standalone (superscalar) run committing exactly ``instructions``."""
+        key = (program, instructions, scale.seed)
+        if key not in self._st:
+            self._st[key] = simulate_single_thread(
+                program, instructions, config=self.config, seed=scale.seed
+            )
+        return self._st[key]
+
+    def clear(self) -> None:
+        self._smt.clear()
+        self._st.clear()
+
+
+#: Process-wide cache shared by all figure modules (and hence by the
+#: benchmark suite, where figures 1/2 and 6/7/8 reuse the same runs).
+default_cache = ResultCache()
+
+
+def average_avf(results: List[SimResult], structure: Structure) -> float:
+    """Mean structure AVF over workload groups (the paper reports averages)."""
+    return sum(r.avf.avf[structure] for r in results) / len(results)
+
+
+def average_ipc(results: List[SimResult]) -> float:
+    return sum(r.ipc for r in results) / len(results)
+
+
+def groups_for(num_threads: int, mix_type: str) -> List[WorkloadMix]:
+    """All Table 2 groups (A and, where present, B) of one workload type."""
+    return mixes_for(num_threads, mix_type)
+
+
+@dataclass
+class StructureSeries:
+    """One figure series: a value per tracked structure."""
+
+    label: str
+    values: Dict[Structure, float] = field(default_factory=dict)
+
+    def row(self, order) -> List[float]:
+        return [self.values[s] for s in order]

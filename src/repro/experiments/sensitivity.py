@@ -1,0 +1,108 @@
+"""Resource-scaling sensitivity: Section 5's sizing argument, measured.
+
+"By increasing the size of a microarchitecture structure, architects aim to
+exploit more parallelism.  Nevertheless, the performance gain does not
+correlate with the scale of hardware resources in a linear manner.  This
+effect, on the other hand, has a great influence on reliability, because
+the increased size ... is likely to bring in more in-flight instructions
+and expose more program states to soft-error strikes."
+
+:func:`run_resource_sweep` scales one structure (IQ, ROB, LSQ or the rename
+pools) across a size ladder and reports throughput alongside the
+*exposure* of the structure — its ACE-bit-cycles per cycle (AVF x bits),
+the quantity that actually multiplies the raw error rate.  The expected
+picture: IPC saturates while exposure keeps growing, so past the knee every
+added entry costs reliability for no performance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.avf.bits import structure_bits
+from repro.avf.structures import Structure
+from repro.config import DEFAULT_CONFIG, MachineConfig, SimConfig
+from repro.errors import ConfigError
+from repro.experiments.formatting import render_table
+from repro.experiments.runner import ExperimentScale
+from repro.sim.simulator import simulate
+from repro.workload.mixes import WorkloadMix, get_mix
+
+#: Resources the sweep can scale and the structure whose exposure it tracks.
+SWEEPABLE = {
+    "iq": (("iq_entries",), Structure.IQ),
+    "rob": (("rob_entries",), Structure.ROB),
+    "lsq": (("lsq_entries",), Structure.LSQ_TAG),
+    "regs": (("int_phys_regs", "fp_phys_regs"), Structure.REG),
+}
+
+
+@dataclass
+class SweepPoint:
+    """One size step of the ladder."""
+
+    size: int
+    ipc: float
+    avf: float
+    exposed_bits: float
+    """ACE bits resident per cycle: AVF x structure bits — what the raw
+    error rate multiplies."""
+
+
+@dataclass
+class SweepData:
+    resource: str
+    workload: str
+    structure: Structure
+    points: List[SweepPoint] = field(default_factory=list)
+
+    def ipc_gain(self, i: int) -> float:
+        """Relative IPC gain of step ``i`` over step ``i-1``."""
+        return self.points[i].ipc / self.points[i - 1].ipc - 1.0
+
+    def exposure_gain(self, i: int) -> float:
+        return (self.points[i].exposed_bits
+                / max(self.points[i - 1].exposed_bits, 1e-12) - 1.0)
+
+
+def run_resource_sweep(resource: str,
+                       sizes: Sequence[int],
+                       workload: Union[str, WorkloadMix] = "4-MIX-A",
+                       scale: Optional[ExperimentScale] = None,
+                       policy: str = "ICOUNT") -> SweepData:
+    """Scale one resource over ``sizes`` and measure IPC and exposure."""
+    if resource not in SWEEPABLE:
+        raise ConfigError(f"unknown resource {resource!r}; "
+                          f"known: {sorted(SWEEPABLE)}")
+    if len(sizes) < 2 or any(s <= 0 for s in sizes):
+        raise ConfigError("sizes must be at least two positive values")
+    scale = scale or ExperimentScale.from_env()
+    mix = get_mix(workload) if isinstance(workload, str) else workload
+    fields, structure = SWEEPABLE[resource]
+
+    data = SweepData(resource=resource, workload=mix.name, structure=structure)
+    for size in sizes:
+        config = DEFAULT_CONFIG.with_overrides(**{f: size for f in fields})
+        result = simulate(
+            mix, policy=policy, config=config,
+            sim=SimConfig(
+                max_instructions=scale.instructions_per_thread * mix.num_threads,
+                seed=scale.seed,
+            ),
+        )
+        avf = result.avf.avf[structure]
+        bits = structure_bits(structure, config, mix.num_threads)
+        data.points.append(SweepPoint(size=size, ipc=result.ipc, avf=avf,
+                                      exposed_bits=avf * bits))
+    return data
+
+
+def format_sweep(data: SweepData) -> str:
+    rows = [[p.size, p.ipc, p.avf, p.exposed_bits] for p in data.points]
+    return render_table(
+        f"Resource sweep: {data.resource} on {data.workload} "
+        f"(exposure = AVF x {data.structure.value} bits)",
+        ["size", "IPC", "AVF", "exposed ACE bits"],
+        rows,
+    )

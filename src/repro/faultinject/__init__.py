@@ -1,0 +1,31 @@
+"""Statistical fault injection: the paper's complementary methodology.
+
+Section 2 of the paper contrasts AVF computation with statistical fault
+injection (Wang et al.; Czeck & Siewiorek): inject transient bit flips at
+random (cycle, bit) points and observe whether execution is affected.  The
+two methodologies must agree — the fraction of injections that corrupt
+architecturally required state *is* the AVF, up to sampling error.
+
+This package implements an injection campaign over the pipeline structures
+(IQ, ROB, LSQ, register file, FUs).  It reconstructs each structure's
+ACE/un-ACE occupancy timeline from the raw residency intervals (recorded
+with ``SimConfig(record_intervals=True)``) — an independent computation
+path from the summed AVF ledgers — then samples injections uniformly over
+(cycle x entry) and classifies each as
+
+* ``MASKED_IDLE``  — the struck entry held nothing,
+* ``MASKED_UNACE`` — it held state that cannot affect the outcome
+  (NOP/dead/wrong-path/not-yet-valid/already-consumed),
+* ``SDC``          — it held ACE state: silent data corruption.
+
+The campaign's SDC rate converging to the reported AVF validates the
+interval arithmetic end to end.
+"""
+
+from repro.faultinject.campaign import (
+    InjectionCampaignResult,
+    InjectionOutcome,
+    run_campaign,
+)
+
+__all__ = ["InjectionOutcome", "InjectionCampaignResult", "run_campaign"]

@@ -1,0 +1,47 @@
+"""SMT instruction fetch policies (paper Section 4.3).
+
+The baseline is **ICOUNT** (Tullsen et al., ISCA 1996): fetch priority to
+the thread with the fewest in-flight front-end/IQ instructions.  The five
+advanced policies differ in how they react to long-latency loads:
+
+* **FLUSH** (Tullsen & Brown, MICRO 2001) squashes everything a thread
+  fetched after an L2-missing load and gates its fetch until the miss
+  returns — freeing shared resources *and* ACE-bit residency.
+* **STALL** (same paper) only gates fetch on an L2 miss, always letting at
+  least one thread proceed.
+* **DG** / **PDG** (El-Moursy & Albonesi, HPCA 2003) gate fetch once a
+  thread has several outstanding L1-data misses; PDG predicts the misses at
+  fetch to shave the detection delay.
+* **DWARN** (Cazorla et al., IPDPS 2004) demotes — rather than gates —
+  threads with outstanding data-cache misses.
+"""
+
+from repro.fetch.base import FetchPolicy
+from repro.fetch.icount import IcountPolicy
+from repro.fetch.stall import StallPolicy
+from repro.fetch.flush import FlushPolicy
+from repro.fetch.flushp import PredictiveFlushPolicy
+from repro.fetch.dg import DataGatingPolicy
+from repro.fetch.pdg import PredictiveDataGatingPolicy
+from repro.fetch.dwarn import DcacheWarnPolicy
+from repro.fetch.raft import ReliabilityAwareThrottlePolicy
+from repro.fetch.registry import (
+    EXTENSION_POLICY_NAMES,
+    POLICY_NAMES,
+    create_policy,
+)
+
+__all__ = [
+    "FetchPolicy",
+    "IcountPolicy",
+    "StallPolicy",
+    "FlushPolicy",
+    "PredictiveFlushPolicy",
+    "DataGatingPolicy",
+    "PredictiveDataGatingPolicy",
+    "DcacheWarnPolicy",
+    "ReliabilityAwareThrottlePolicy",
+    "POLICY_NAMES",
+    "EXTENSION_POLICY_NAMES",
+    "create_policy",
+]

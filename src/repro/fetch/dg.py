@@ -1,0 +1,29 @@
+"""DG (data gating): stop fetching on outstanding L1-data misses.
+
+El-Moursy & Albonesi (HPCA 2003): once a thread has more than a threshold
+of outstanding L1 data-cache misses, its fetch is gated until enough of
+them resolve.  Reacting to L1 (rather than L2) misses makes DG quicker to
+trigger but blind to how severe the miss turns out to be — the limitation
+the paper uses to explain why FLUSH reduces AVF more.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List
+
+from repro.fetch.base import FetchPolicy
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.pipeline.core import SMTCore
+
+
+class DataGatingPolicy(FetchPolicy):
+    name = "DG"
+
+    def __init__(self, threshold: int = 2) -> None:
+        self.threshold = threshold
+
+    def priorities(self, core: "SMTCore") -> List[int]:
+        clear = [tid for tid in core.fetchable_threads()
+                 if core.thread(tid).outstanding_l1d < self.threshold]
+        return self.icount_order(core, clear)

@@ -1,0 +1,31 @@
+"""DWARN (DCache Warn): demote, don't gate, on data-cache misses.
+
+Cazorla et al. (IPDPS 2004): threads with outstanding data-cache misses
+keep fetching but at reduced priority.  The thread still makes progress —
+which is why DWARN preserves fairness (harmonic IPC) better than gating
+policies — at the cost of letting some long-latency ACE bits into the
+pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List
+
+from repro.fetch.base import FetchPolicy
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.pipeline.core import SMTCore
+
+
+class DcacheWarnPolicy(FetchPolicy):
+    name = "DWARN"
+
+    def priorities(self, core: "SMTCore") -> List[int]:
+        return sorted(
+            core.fetchable_threads(),
+            key=lambda tid: (
+                1 if core.thread(tid).outstanding_l1d > 0 else 0,
+                core.in_flight_count(tid),
+                tid,
+            ),
+        )

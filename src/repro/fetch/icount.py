@@ -1,0 +1,24 @@
+"""ICOUNT: the baseline fetch policy (Tullsen et al., ISCA 1996)."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List
+
+from repro.fetch.base import FetchPolicy
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.pipeline.core import SMTCore
+
+
+class IcountPolicy(FetchPolicy):
+    """Highest priority to the thread with the fewest in-flight instructions.
+
+    Counting instructions between fetch and issue self-balances the machine:
+    a thread clogging the front end or the IQ automatically loses fetch
+    bandwidth to faster-moving threads.
+    """
+
+    name = "ICOUNT"
+
+    def priorities(self, core: "SMTCore") -> List[int]:
+        return self.icount_order(core, core.fetchable_threads())

@@ -1,0 +1,42 @@
+"""Fetch-policy registry: create policies by name."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.errors import ConfigError
+from repro.fetch.base import FetchPolicy
+from repro.fetch.dg import DataGatingPolicy
+from repro.fetch.dwarn import DcacheWarnPolicy
+from repro.fetch.flush import FlushPolicy
+from repro.fetch.flushp import PredictiveFlushPolicy
+from repro.fetch.icount import IcountPolicy
+from repro.fetch.pdg import PredictiveDataGatingPolicy
+from repro.fetch.raft import ReliabilityAwareThrottlePolicy
+from repro.fetch.stall import StallPolicy
+
+_FACTORIES: Dict[str, Callable[[], FetchPolicy]] = {
+    "ICOUNT": IcountPolicy,
+    "STALL": StallPolicy,
+    "FLUSH": FlushPolicy,
+    "DG": DataGatingPolicy,
+    "PDG": PredictiveDataGatingPolicy,
+    "DWARN": DcacheWarnPolicy,
+    "FLUSHP": PredictiveFlushPolicy,
+    "RAFT": ReliabilityAwareThrottlePolicy,
+}
+
+#: The six policies the paper evaluates, baseline first.
+POLICY_NAMES = ("ICOUNT", "FLUSH", "STALL", "DG", "PDG", "DWARN")
+
+#: The Section 5 proposals this reproduction additionally implements.
+EXTENSION_POLICY_NAMES = ("FLUSHP", "RAFT")
+
+
+def create_policy(name: str) -> FetchPolicy:
+    """Instantiate a fresh fetch policy by (case-insensitive) name."""
+    factory = _FACTORIES.get(name.upper())
+    if factory is None:
+        known = POLICY_NAMES + EXTENSION_POLICY_NAMES
+        raise ConfigError(f"unknown fetch policy {name!r}; known: {known}")
+    return factory()

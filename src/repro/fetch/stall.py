@@ -1,0 +1,29 @@
+"""STALL: gate fetch for threads with outstanding L2 misses.
+
+Tullsen & Brown (MICRO 2001): a thread that missed in the L2 will only clog
+shared resources for the next few hundred cycles, so stop fetching for it —
+but always let at least one thread fetch so the machine cannot idle when
+every thread is waiting on memory.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List
+
+from repro.fetch.base import FetchPolicy
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.pipeline.core import SMTCore
+
+
+class StallPolicy(FetchPolicy):
+    name = "STALL"
+
+    def priorities(self, core: "SMTCore") -> List[int]:
+        candidates = core.fetchable_threads()
+        clear = [tid for tid in candidates if core.thread(tid).outstanding_l2 == 0]
+        if clear:
+            return self.icount_order(core, clear)
+        # All threads are missing: let the best-positioned one proceed anyway.
+        ordered = self.icount_order(core, candidates)
+        return ordered[:1]

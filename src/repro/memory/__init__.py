@@ -1,0 +1,29 @@
+"""Memory hierarchy: set-associative caches, TLBs, MSHRs (Table 1).
+
+L1I 32 KB / 2-way / 32 B lines (2 ports), L1D 64 KB / 4-way / 64 B lines
+(2 ports), unified L2 2 MB / 4-way / 128 B lines (12-cycle access), main
+memory 200 cycles; ITLB 128-entry 4-way and DTLB 256-entry 4-way with a
+200-cycle miss penalty.
+
+The data cache and DTLB accept an *observer* so the AVF engine can track
+per-word ACE residency without entangling reliability accounting with the
+timing model.
+"""
+
+from repro.memory.cache import Cache, CacheLine, CacheObserver, NullObserver
+from repro.memory.tlb import Tlb, TlbEntry
+from repro.memory.mshr import MshrFile
+from repro.memory.hierarchy import MemoryHierarchy, DataAccessResult, FetchAccessResult
+
+__all__ = [
+    "Cache",
+    "CacheLine",
+    "CacheObserver",
+    "NullObserver",
+    "Tlb",
+    "TlbEntry",
+    "MshrFile",
+    "MemoryHierarchy",
+    "DataAccessResult",
+    "FetchAccessResult",
+]

@@ -1,0 +1,59 @@
+"""Throughput and fairness metrics."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.errors import ReproError
+
+
+def ipc(committed: int, cycles: int) -> float:
+    """Committed instructions per cycle."""
+    if cycles <= 0:
+        raise ReproError("cycles must be positive")
+    return committed / cycles
+
+
+def weighted_speedup(smt_ipcs: Sequence[float], st_ipcs: Sequence[float]) -> float:
+    """Sum of each thread's SMT IPC normalised to its standalone IPC.
+
+    Values above 1.0 mean the SMT machine outperforms running the threads
+    one at a time on the same core (Snavely/Tullsen's symbiosis metric).
+    """
+    if len(smt_ipcs) != len(st_ipcs):
+        raise ReproError("weighted speedup needs matching SMT and ST IPC lists")
+    if any(st <= 0 for st in st_ipcs):
+        raise ReproError("standalone IPCs must be positive")
+    return sum(smt / st for smt, st in zip(smt_ipcs, st_ipcs))
+
+
+def harmonic_mean_weighted_ipc(smt_ipcs: Sequence[float],
+                               st_ipcs: Sequence[float]) -> float:
+    """Harmonic mean of the per-thread weighted IPCs (Luo et al., ISPASS 2001).
+
+    The harmonic mean punishes imbalance: starving one thread collapses the
+    metric even when total throughput looks healthy, so it captures both
+    performance and fairness.
+    """
+    if len(smt_ipcs) != len(st_ipcs):
+        raise ReproError("harmonic IPC needs matching SMT and ST IPC lists")
+    if any(st <= 0 for st in st_ipcs):
+        raise ReproError("standalone IPCs must be positive")
+    ratios = [smt / st for smt, st in zip(smt_ipcs, st_ipcs)]
+    if any(r <= 0 for r in ratios):
+        return 0.0
+    return len(ratios) / sum(1.0 / r for r in ratios)
+
+
+def aggregate_weighted_avf(avfs: Mapping[int, float],
+                           work_fractions: Mapping[int, float]) -> float:
+    """Sequential-execution AVF: thread AVFs weighted by work share.
+
+    Used for the paper's Figure 3 comparison: "the weighted AVF in
+    sequential execution is derived using an individual thread's AVF
+    weighted by the fraction of work that each thread completes."
+    """
+    total = sum(work_fractions.values())
+    if total <= 0:
+        raise ReproError("work fractions must sum to a positive value")
+    return sum(avfs[t] * work_fractions[t] for t in avfs) / total

@@ -1,0 +1,48 @@
+"""Reliability-efficiency metrics built on AVF.
+
+MITF = (committed instructions between failures).  At fixed frequency and
+raw device error rate, MITF is proportional to IPC/AVF (Weaver et al.,
+ISCA 2004), so IPC/AVF ratios compare design points without knowing the raw
+error rate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+_EPSILON = 1e-12
+
+
+def reliability_efficiency(ipc_value: float, avf: float) -> float:
+    """IPC/AVF: work completed per unit of vulnerability.
+
+    An AVF of zero means no ACE bits were ever exposed; the efficiency is
+    unbounded and we return ``inf`` so callers can surface it explicitly.
+    """
+    if avf <= _EPSILON:
+        return float("inf")
+    return ipc_value / avf
+
+
+def mitf_relative(ipc_value: float, avf: float, baseline_ipc: float,
+                  baseline_avf: float) -> float:
+    """MITF of a design point relative to a baseline (ratio of IPC/AVF)."""
+    base = reliability_efficiency(baseline_ipc, baseline_avf)
+    this = reliability_efficiency(ipc_value, avf)
+    if base == float("inf"):
+        return 1.0 if this == float("inf") else 0.0
+    if this == float("inf"):
+        return float("inf")
+    return this / base
+
+
+def normalize_to_baseline(values: Mapping[str, float],
+                          baseline_key: str) -> Dict[str, float]:
+    """Scale a {name: value} mapping so the baseline entry equals 1.0.
+
+    Figures 7 and 8 present IPC/AVF normalised to the ICOUNT baseline.
+    """
+    baseline = values[baseline_key]
+    if abs(baseline) <= _EPSILON:
+        return {k: float("inf") if v > 0 else 0.0 for k, v in values.items()}
+    return {k: v / baseline for k, v in values.items()}

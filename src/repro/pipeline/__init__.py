@@ -1,0 +1,11 @@
+"""Cycle-level SMT pipeline: the execution model the AVF engine instruments.
+
+8-wide fetch/issue/commit, 7-stage, with a shared issue queue, merged
+physical register file and functional-unit pool, and per-thread ROBs, LSQs
+and branch predictors — the Table 1 machine.
+"""
+
+from repro.pipeline.frontend import ThreadContext
+from repro.pipeline.core import SMTCore
+
+__all__ = ["ThreadContext", "SMTCore"]

@@ -1,0 +1,457 @@
+"""The SMT pipeline cycle loop.
+
+Stage order within a cycle (oldest work first, as in M-Sim):
+commit -> writeback -> issue -> rename/dispatch -> fetch.  A value written
+back in cycle *c* can feed an issue in the same cycle (full forwarding);
+a committed instruction vacates its ROB/LSQ entries for the same cycle's
+dispatch.
+
+Squash machinery is shared between branch-misprediction recovery and the
+FLUSH fetch policy: both rewind a thread to a boundary instruction, undo
+renames in reverse order, and reset the thread's trace fetch pointer —
+materialised traces make replay exact.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.avf.engine import AvfEngine
+from repro.config import MachineConfig, SimConfig
+from repro.errors import SimulationError
+from repro.fetch.base import FetchPolicy
+from repro.isa.instruction import DynInstr
+from repro.isa.opcodes import OpClass
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.pipeline.frontend import ThreadContext
+from repro.structures.functional_units import FunctionalUnitPool
+from repro.structures.issue_queue import SharedIssueQueue
+from repro.structures.regfile import PhysicalRegisterFile
+from repro.workload.generator import ThreadTrace
+
+#: Completion event: (instr, fetch_stamp at schedule time, dl1 miss, l2 miss).
+_Event = Tuple[DynInstr, int, bool, bool]
+
+
+class SMTCore:
+    """One simulated SMT processor executing a set of thread traces."""
+
+    def __init__(self, traces: List[ThreadTrace], config: MachineConfig,
+                 policy: FetchPolicy, sim: SimConfig) -> None:
+        self.config = config
+        self.policy = policy
+        self.sim = sim
+        self.num_threads = len(traces)
+        self.engine = AvfEngine(config, self.num_threads,
+                                record_intervals=sim.record_intervals)
+        self.mem = MemoryHierarchy(config,
+                                   dl1_observer=self.engine.dl1_observer,
+                                   dtlb_observer=self.engine.dtlb_observer)
+        self.threads = [
+            ThreadContext(tid, trace, config, self.engine, sim.seed)
+            for tid, trace in enumerate(traces)
+        ]
+        self._iq = SharedIssueQueue(config.iq_entries, self.engine)
+        # Physical file = per-thread architectural backing + shared rename
+        # pool (M-Sim sizing); see MachineConfig.int_phys_regs.
+        from repro.workload.generator import NUM_FP_REGS, NUM_INT_REGS
+        self._regfile = PhysicalRegisterFile(
+            config.int_phys_regs + NUM_INT_REGS * self.num_threads,
+            config.fp_phys_regs + NUM_FP_REGS * self.num_threads,
+            self.num_threads, self.engine)
+        self._fu_pool = FunctionalUnitPool(config, self.engine)
+        self._events: Dict[int, List[_Event]] = {}
+        # Issue wakeup: phys reg -> [(instr, stamp), ...] waiting on it.
+        self._waiters: Dict[int, List[Tuple[DynInstr, int]]] = {}
+
+        self.cycle = 0
+        self.total_committed = 0
+        self._commit_rr = 0
+        self._dispatch_rr = 0
+
+        # Statistics.
+        self.mispredict_squashes = 0
+        self.measure_start_cycle = 0
+        self._warmup_done = sim.warmup_instructions == 0
+        self._committed_at_measure_start = [0] * self.num_threads
+
+        self.phase_tracker = None
+        if sim.phase_window_cycles > 0:
+            from repro.avf.phases import PhaseTracker
+            self.phase_tracker = PhaseTracker(self.engine, sim.phase_window_cycles)
+
+    # -- public queries used by fetch policies -----------------------------------------
+
+    def thread(self, tid: int) -> ThreadContext:
+        return self.threads[tid]
+
+    def in_flight_count(self, tid: int) -> int:
+        """Front-end plus issue-queue instructions (ICOUNT's metric)."""
+        return self.threads[tid].front_end_count() + self._iq.thread_count(tid)
+
+    def fetchable_threads(self) -> List[int]:
+        """Threads that could accept fetch bandwidth this cycle."""
+        return [
+            t.id for t in self.threads
+            if not t.finished
+            and not t.fetch_exhausted
+            and t.fetch_blocked_until <= self.cycle
+            and t.decode_room > 0
+        ]
+
+    @property
+    def issue_queue(self) -> SharedIssueQueue:
+        return self._iq
+
+    @property
+    def regfile(self) -> PhysicalRegisterFile:
+        return self._regfile
+
+    @property
+    def fu_pool(self) -> FunctionalUnitPool:
+        return self._fu_pool
+
+    # -- main loop ------------------------------------------------------------------------
+
+    def run(self) -> int:
+        """Simulate until the instruction budget or all traces complete.
+
+        Returns the number of measured cycles (post-warmup).
+        """
+        while not self._done():
+            self.cycle += 1
+            if self.cycle > self.sim.max_cycles:
+                raise SimulationError(
+                    f"exceeded max_cycles={self.sim.max_cycles} "
+                    f"(committed {self.total_committed})"
+                )
+            self.mem.begin_cycle(self.cycle)
+            self._commit()
+            self._writeback()
+            self._issue()
+            self._fu_pool.tick(self.cycle)
+            self._rename_dispatch()
+            self._fetch()
+            if self.phase_tracker is not None:
+                self.phase_tracker.tick(self.cycle)
+        self._drain()
+        if self.phase_tracker is not None:
+            self.phase_tracker.finalize(self.cycle)
+        return self.measured_cycles
+
+    @property
+    def measured_cycles(self) -> int:
+        return max(self.cycle - self.measure_start_cycle, 1)
+
+    def committed_in_window(self, tid: int) -> int:
+        return self.threads[tid].committed - self._committed_at_measure_start[tid]
+
+    def _done(self) -> bool:
+        if self.total_committed >= self.sim.max_instructions:
+            return True
+        return all(t.finished for t in self.threads)
+
+    # -- commit ------------------------------------------------------------------------------
+
+    def _commit(self) -> None:
+        budget = self.config.commit_width
+        order = self._rotated(self._commit_rr)
+        self._commit_rr += 1
+        for tid in order:
+            t = self.threads[tid]
+            while budget > 0:
+                head = t.rob.head()
+                if head is None or head.completed_at < 0 or head.completed_at >= self.cycle:
+                    break
+                if head.is_store and not head.wrong_path:
+                    if not self.mem.claim_dl1_port():
+                        break
+                    self.mem.data_access(head.mem_addr, self.cycle, tid, is_write=True)
+                t.rob.pop_head(self.cycle)
+                if head.is_memory:
+                    t.lsq.remove_committed(head, self.cycle)
+                self._regfile.on_commit(head, self.cycle)
+                head.committed_at = self.cycle
+                t.committed += 1
+                self.total_committed += 1
+                budget -= 1
+                self._maybe_end_warmup()
+
+    def _maybe_end_warmup(self) -> None:
+        if self._warmup_done or self.total_committed < self.sim.warmup_instructions:
+            return
+        self._warmup_done = True
+        self.measure_start_cycle = self.cycle
+        self.engine.reset(self.cycle)
+        self._committed_at_measure_start = [t.committed for t in self.threads]
+
+    # -- writeback -----------------------------------------------------------------------------
+
+    def _writeback(self) -> None:
+        for instr, stamp, dl1_miss, l2_miss in self._events.pop(self.cycle, ()):
+            t = self.threads[instr.thread_id]
+            # Miss counters were claimed by this issue instance: always release.
+            if dl1_miss:
+                t.outstanding_l1d -= 1
+            if l2_miss:
+                t.outstanding_l2 -= 1
+            if instr.is_load or instr.op is OpClass.PREFETCH:
+                self.policy.on_load_resolved(self, instr)
+            if instr.squashed or instr.fetch_stamp != stamp:
+                continue  # stale event from a squashed-and-refetched instance
+            instr.completed_at = self.cycle
+            if instr.phys_dest is not None:
+                self._regfile.mark_written(instr.phys_dest, self.cycle)
+                self._wake_waiters(instr.phys_dest)
+            if instr.is_control:
+                self._resolve_control(t, instr)
+
+    def _wake_waiters(self, phys: int) -> None:
+        """Producer wrote back: decrement its consumers' pending counts."""
+        waiters = self._waiters.pop(phys, None)
+        if not waiters:
+            return
+        for consumer, stamp in waiters:
+            # Stale records (squashed or squashed-and-refetched consumers)
+            # are ignored; a refetched instance re-registers at rename.
+            if consumer.fetch_stamp == stamp and not consumer.squashed:
+                consumer.pending_srcs -= 1
+
+    def _resolve_control(self, t: ThreadContext, instr: DynInstr) -> None:
+        mispredicted = t.branch_unit.resolve(instr, instr.prediction)
+        if not mispredicted:
+            return
+        self.mispredict_squashes += 1
+        self.squash_after(instr)
+        t.wrong_path = False
+        t.pending_branch = None
+        # The redirect abandons any in-flight wrong-path I-cache miss.
+        t.fetch_blocked_until = self.cycle + 1
+
+    # -- squash (shared by mispredict recovery and FLUSH) ---------------------------------------
+
+    def squash_after(self, boundary: DynInstr) -> None:
+        """Squash everything ``boundary``'s thread fetched after it."""
+        if boundary.wrong_path:
+            raise SimulationError("squash boundary must be a correct-path instruction")
+        t = self.threads[boundary.thread_id]
+        stamp = boundary.fetch_stamp
+        for dropped in t.drop_decoded_younger_than(stamp):
+            self.policy.on_squash(self, dropped)
+        self._iq.squash_thread(t.id, stamp, self.cycle)
+        t.lsq.squash_younger_than(stamp, self.cycle)
+        for squashed in t.rob.squash_younger_than(stamp, self.cycle):
+            self._regfile.on_squash(squashed, self.cycle)
+            self.policy.on_squash(self, squashed)
+        t.fetch_index = boundary.seq + 1
+        if t.pending_branch is not None and t.pending_branch.fetch_stamp > stamp:
+            t.pending_branch = None
+            t.wrong_path = False
+
+    # -- issue ------------------------------------------------------------------------------------
+
+    def _issue(self) -> None:
+        budget = self.config.issue_width
+        for instr in list(self._iq.entries()):
+            if budget == 0:
+                break
+            if instr.squashed or instr.pending_srcs > 0:
+                continue
+            if not self._fu_pool.can_issue(instr.op):
+                continue
+            if instr.is_load or instr.op is OpClass.PREFETCH:
+                if not self._issue_load(instr):
+                    continue
+            elif instr.is_store:
+                self._schedule(instr, self.config.agen_latency + 1, False, False)
+            else:
+                latency = self._fu_pool.latency_of(instr.op)
+                self._schedule(instr, latency, False, False)
+            self._fu_pool.issue(instr, self.cycle)
+            for phys in instr.phys_srcs:
+                self._regfile.note_read(phys, self.cycle, instr.is_ace)
+            instr.issued_at = self.cycle
+            self._iq.remove_issued(instr, self.cycle)
+            budget -= 1
+
+    def _issue_load(self, instr: DynInstr) -> bool:
+        """Schedule a load/prefetch; False when it cannot issue this cycle."""
+        t = self.threads[instr.thread_id]
+        store = t.lsq.forwarding_store(instr)
+        if store is not None:
+            if store.completed_at < 0:
+                return False  # wait for the store's data
+            t.lsq.forwards += 1
+            self._schedule(instr, self.config.agen_latency + 1, False, False)
+            return True
+        if not self.mem.claim_dl1_port():
+            return False
+        result = self.mem.data_access(instr.mem_addr, self.cycle + 1,
+                                      instr.thread_id, is_write=False)
+        instr.dl1_missed = result.dl1_miss
+        instr.l2_missed = result.l2_miss
+        if result.dl1_miss:
+            t.outstanding_l1d += 1
+        if result.l2_miss:
+            t.outstanding_l2 += 1
+            if not instr.wrong_path:
+                self.policy.on_l2_miss(self, instr)
+        self._schedule(instr, self.config.agen_latency + result.latency,
+                       result.dl1_miss, result.l2_miss)
+        return True
+
+    def _schedule(self, instr: DynInstr, latency: int,
+                  dl1_miss: bool, l2_miss: bool) -> None:
+        when = self.cycle + max(latency, 1)
+        self._events.setdefault(when, []).append(
+            (instr, instr.fetch_stamp, dl1_miss, l2_miss)
+        )
+
+    # -- rename / dispatch ----------------------------------------------------------------------------
+
+    def _rename_dispatch(self) -> None:
+        budget = self.config.issue_width
+        iq_partition = (self.config.iq_entries // self.num_threads
+                        if self.config.iq_partitioned else None)
+        order = self._rotated(self._dispatch_rr)
+        self._dispatch_rr += 1
+        for tid in order:
+            t = self.threads[tid]
+            while budget > 0 and t.decode_queue:
+                ready_cycle, instr = t.decode_queue[0]
+                if ready_cycle > self.cycle:
+                    break
+                if t.rob.full:
+                    break
+                if instr.is_memory and t.lsq.full:
+                    break
+                needs_iq = instr.op is not OpClass.NOP
+                if needs_iq and self._iq.full:
+                    break
+                if (needs_iq and iq_partition is not None
+                        and self._iq.thread_count(tid) >= iq_partition):
+                    break
+                if not self._regfile.rename(instr, self.cycle):
+                    break
+                t.decode_queue.popleft()
+                instr.renamed_at = self.cycle
+                instr.pending_srcs = 0
+                for phys in instr.phys_srcs:
+                    if phys is not None and not self._regfile.is_ready(phys):
+                        instr.pending_srcs += 1
+                        self._waiters.setdefault(phys, []).append(
+                            (instr, instr.fetch_stamp))
+                t.rob.push(instr, self.cycle)
+                if instr.is_memory:
+                    t.lsq.add(instr, self.cycle)
+                if needs_iq:
+                    self._iq.add(instr, self.cycle)
+                else:
+                    instr.completed_at = self.cycle  # NOPs complete at dispatch
+                budget -= 1
+
+    # -- fetch -------------------------------------------------------------------------------------------
+
+    def _fetch(self) -> None:
+        order = self.policy.priorities(self)
+        remaining = self.config.fetch_width
+        threads_used = 0
+        for tid in order:
+            if threads_used >= self.config.fetch_threads_per_cycle or remaining <= 0:
+                break
+            fetched = self._fetch_thread(self.threads[tid], remaining)
+            if fetched:
+                remaining -= fetched
+                threads_used += 1
+
+    def _fetch_thread(self, t: ThreadContext, budget: int) -> int:
+        count = 0
+        current_line = None
+        while count < budget and t.decode_room > 0:
+            if t.fetch_blocked_until > self.cycle:
+                break
+            wrong_path = t.wrong_path
+            if not wrong_path and t.fetch_index >= len(t.trace):
+                break
+            pc = t.wrong_pc if wrong_path else t.trace[t.fetch_index].pc
+            line = self.mem.il1.line_address(pc)
+            if line != current_line:
+                if line == t.line_buffer:
+                    # The fill this thread waited on is in its line buffer;
+                    # consume it without re-probing the IL1.
+                    current_line = line
+                else:
+                    result = self.mem.fetch_access(pc, self.cycle, t.id)
+                    if result.blocks_fetch:
+                        t.fetch_blocked_until = self.cycle + result.latency
+                        t.line_buffer = line
+                        break
+                    current_line = line
+                    t.line_buffer = -1
+            instr = t.next_instruction()
+            if instr is None:
+                break
+            if not wrong_path:
+                self._reset_pipeline_state(instr)
+                t.consume_correct_path()
+            t.stamp(instr)
+            instr.fetched_at = self.cycle
+            t.decode_queue.append((self.cycle + self.config.decode_latency, instr))
+            count += 1
+            self.policy.on_fetch(self, instr)
+            if instr.is_control:
+                if self._predict_control(t, instr):
+                    break  # fetch block ends at a taken or mispredicted branch
+        return count
+
+    def _predict_control(self, t: ThreadContext, instr: DynInstr) -> bool:
+        """Predict a control instruction at fetch; True ends the fetch block."""
+        prediction = t.branch_unit.predict(instr)
+        instr.prediction = prediction
+        if prediction.mispredicts(instr):
+            instr.mispredicted = True
+            t.wrong_path = True
+            t.pending_branch = instr
+            if prediction.taken and prediction.target is not None:
+                t.wrong_pc = t.clamp_pc(prediction.target)
+            else:
+                t.wrong_pc = t.clamp_pc(instr.pc + 4)
+            return True
+        return prediction.taken
+
+    @staticmethod
+    def _reset_pipeline_state(instr: DynInstr) -> None:
+        """Clear pipeline annotations before (re-)fetching a trace instruction.
+
+        Required for squash-and-replay: the same trace object flows through
+        the pipeline again and must not carry state from its squashed run.
+        """
+        instr.fetched_at = -1
+        instr.renamed_at = -1
+        instr.issued_at = -1
+        instr.completed_at = -1
+        instr.committed_at = -1
+        instr.phys_dest = None
+        instr.old_phys_dest = None
+        instr.phys_srcs = ()
+        instr.squashed = False
+        instr.mispredicted = False
+        instr.dl1_missed = False
+        instr.l2_missed = False
+        instr.prediction = None
+        instr.pending_srcs = 0
+
+    # -- helpers -----------------------------------------------------------------------------------------------
+
+    def _rotated(self, counter: int) -> List[int]:
+        start = counter % self.num_threads
+        return [(start + i) % self.num_threads for i in range(self.num_threads)]
+
+    def _drain(self) -> None:
+        """Close all open residency intervals at the final cycle."""
+        self._iq.drain(self.cycle)
+        for t in self.threads:
+            t.rob.drain(self.cycle)
+            t.lsq.drain(self.cycle)
+        self._regfile.drain(self.cycle)
+        self.mem.drain(self.cycle)

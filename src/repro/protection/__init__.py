@@ -1,0 +1,27 @@
+"""Protection planning: acting on the vulnerability profile.
+
+The paper's Section 5 draws the design consequence of its measurements:
+"To avoid vulnerability hotspots in their designs, architects need to
+first focus on protecting shared SMT microarchitecture structures from
+soft error strikes."  This package turns that advice into a tool: given an
+AVF report and a raw error rate, choose per-structure protection schemes
+(parity, ECC) under an area budget so the residual silent-corruption rate
+is minimised — protecting hotspots first, exactly as Section 5 prescribes.
+"""
+
+from repro.protection.schemes import ProtectionScheme, SCHEME_PROPERTIES
+from repro.protection.planner import (
+    ProtectedEstimate,
+    ProtectionPlan,
+    apply_protection,
+    plan_protection,
+)
+
+__all__ = [
+    "ProtectionScheme",
+    "SCHEME_PROPERTIES",
+    "ProtectionPlan",
+    "ProtectedEstimate",
+    "apply_protection",
+    "plan_protection",
+]

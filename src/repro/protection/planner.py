@@ -1,0 +1,138 @@
+"""Protection planning under an area budget.
+
+Given an AVF report, a raw error rate, and an area budget (extra bits as a
+fraction of the tracked bits), greedily protect the structures with the
+highest silent-corruption contribution per unit of added area — which, on
+an SMT machine, means the shared hotspots the paper's Section 5 points at.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
+
+from repro.avf.fit import DEFAULT_RAW_FIT_PER_BIT
+from repro.avf.report import AvfReport
+from repro.avf.structures import Structure
+from repro.errors import ConfigError
+from repro.protection.schemes import (
+    SCHEME_PROPERTIES,
+    ProtectionScheme,
+)
+
+
+@dataclass
+class ProtectedEstimate:
+    """Outcome rates for one structure under one protection scheme."""
+
+    structure: Structure
+    scheme: ProtectionScheme
+    raw_fit: float          # unprotected SDC FIT contribution
+    sdc_fit: float          # residual silent-corruption FIT
+    due_fit: float          # detected-error FIT
+    added_bits: float       # extra storage this scheme costs here
+
+
+@dataclass
+class ProtectionPlan:
+    """A per-structure protection assignment and its consequences."""
+
+    assignments: Dict[Structure, ProtectionScheme] = field(default_factory=dict)
+    estimates: Dict[Structure, ProtectedEstimate] = field(default_factory=dict)
+    area_budget_bits: float = 0.0
+
+    @property
+    def total_sdc_fit(self) -> float:
+        return sum(e.sdc_fit for e in self.estimates.values())
+
+    @property
+    def total_due_fit(self) -> float:
+        return sum(e.due_fit for e in self.estimates.values())
+
+    @property
+    def total_added_bits(self) -> float:
+        return sum(e.added_bits for e in self.estimates.values())
+
+    def summary(self) -> str:
+        lines = [f"{'structure':<10} {'scheme':<7} {'SDC FIT':>9} "
+                 f"{'DUE FIT':>9} {'added bits':>11}"]
+        for s, e in sorted(self.estimates.items(), key=lambda kv: -kv[1].raw_fit):
+            lines.append(f"{s.value:<10} {self.assignments[s].value:<7} "
+                         f"{e.sdc_fit:9.3f} {e.due_fit:9.3f} {e.added_bits:11.0f}")
+        lines.append(f"total: SDC {self.total_sdc_fit:.3f} FIT, "
+                     f"DUE {self.total_due_fit:.3f} FIT, "
+                     f"+{self.total_added_bits:.0f} bits "
+                     f"(budget {self.area_budget_bits:.0f})")
+        return "\n".join(lines)
+
+
+def apply_protection(report: AvfReport,
+                     assignments: Dict[Structure, ProtectionScheme],
+                     raw_fit_per_bit: float = DEFAULT_RAW_FIT_PER_BIT) -> ProtectionPlan:
+    """Evaluate an explicit per-structure protection assignment."""
+    plan = ProtectionPlan(assignments=dict(assignments))
+    for s in report.avf:
+        scheme = assignments.get(s, ProtectionScheme.NONE)
+        plan.assignments[s] = scheme
+        props = SCHEME_PROPERTIES[scheme]
+        raw = raw_fit_per_bit * report.bits[s] * report.avf[s]
+        plan.estimates[s] = ProtectedEstimate(
+            structure=s,
+            scheme=scheme,
+            raw_fit=raw,
+            sdc_fit=raw * props.sdc_fraction,
+            due_fit=raw * props.due_fraction,
+            added_bits=report.bits[s] * props.area_overhead,
+        )
+    return plan
+
+
+def plan_protection(report: AvfReport,
+                    area_budget_fraction: float = 0.02,
+                    schemes: Sequence[ProtectionScheme] = (
+                        ProtectionScheme.PARITY, ProtectionScheme.ECC),
+                    raw_fit_per_bit: float = DEFAULT_RAW_FIT_PER_BIT,
+                    structures: Optional[Sequence[Structure]] = None) -> ProtectionPlan:
+    """Greedy hotspot-first protection under an area budget.
+
+    Repeatedly upgrades the structure/scheme pair with the best
+    SDC-FIT-removed per added bit that still fits in the remaining budget.
+    With a generous budget everything ends up ECC; with a tight one only
+    the hotspots get protected — Section 5's prescription made concrete.
+    """
+    if area_budget_fraction < 0:
+        raise ConfigError("area budget must be non-negative")
+    tracked = list(structures) if structures else [s for s in report.avf]
+    total_bits = sum(report.bits[s] for s in tracked)
+    budget = area_budget_fraction * total_bits
+
+    assignments: Dict[Structure, ProtectionScheme] = {
+        s: ProtectionScheme.NONE for s in tracked
+    }
+    remaining = budget
+    while True:
+        best = None
+        for s in tracked:
+            current = SCHEME_PROPERTIES[assignments[s]]
+            raw = raw_fit_per_bit * report.bits[s] * report.avf[s]
+            for scheme in schemes:
+                props = SCHEME_PROPERTIES[scheme]
+                extra_bits = (props.area_overhead - current.area_overhead) \
+                    * report.bits[s]
+                sdc_removed = raw * (current.sdc_fraction - props.sdc_fraction)
+                if extra_bits <= 0 or sdc_removed <= 0:
+                    continue
+                if extra_bits > remaining:
+                    continue
+                gain = sdc_removed / extra_bits
+                if best is None or gain > best[0]:
+                    best = (gain, s, scheme, extra_bits)
+        if best is None:
+            break
+        _, s, scheme, extra_bits = best
+        assignments[s] = scheme
+        remaining -= extra_bits
+
+    plan = apply_protection(report, assignments, raw_fit_per_bit)
+    plan.area_budget_bits = budget
+    return plan

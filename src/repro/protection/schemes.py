@@ -1,0 +1,48 @@
+"""Protection schemes and their standard properties.
+
+The soft-error literature's standard menu:
+
+* **NONE** — strikes on ACE bits escape as silent data corruption (SDC).
+* **PARITY** — single-bit flips are *detected*: SDC becomes DUE (detected
+  unrecoverable error).  Cheap (~1 bit per word) but nothing is corrected.
+* **ECC** (SECDED) — single-bit flips are corrected outright; neither SDC
+  nor DUE remains (double-bit events are outside this first-order model,
+  as they are in the paper's single-event framework).  Costs ~8 bits per
+  64-bit word plus correction latency, which is why nobody puts ECC on an
+  issue queue's wakeup path lightly.
+
+Area overheads are the conventional planning numbers for 64-bit words.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class ProtectionScheme(Enum):
+    NONE = "none"
+    PARITY = "parity"
+    ECC = "ecc"
+
+
+@dataclass(frozen=True)
+class SchemeProperties:
+    """First-order outcome fractions and cost of one scheme."""
+
+    sdc_fraction: float    # of ACE strikes, fraction escaping silently
+    due_fraction: float    # of ACE strikes, fraction detected-but-fatal
+    area_overhead: float   # extra bits per protected bit
+
+
+SCHEME_PROPERTIES = {
+    ProtectionScheme.NONE: SchemeProperties(sdc_fraction=1.0,
+                                            due_fraction=0.0,
+                                            area_overhead=0.0),
+    ProtectionScheme.PARITY: SchemeProperties(sdc_fraction=0.0,
+                                              due_fraction=1.0,
+                                              area_overhead=1.0 / 64.0),
+    ProtectionScheme.ECC: SchemeProperties(sdc_fraction=0.0,
+                                           due_fraction=0.0,
+                                           area_overhead=8.0 / 64.0),
+}

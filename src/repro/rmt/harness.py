@@ -1,0 +1,103 @@
+"""Redundant execution harness: run a program twice, measure the tax.
+
+Trace-driven redundancy: both contexts execute the *same* deterministic
+trace (same profile, same seed), so their committed streams are identical
+by construction and the output comparison itself needs no modelling — what
+remains measurable, and what this harness reports, is the *cost* of
+redundancy (the logical program's throughput against running it alone,
+unprotected) and the slack discipline (how far apart the copies actually
+ran).  The trailing thread's cache behaviour also shows SRT's classic
+benefit: the leader prefetches for it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.config import DEFAULT_CONFIG, MachineConfig, SimConfig
+from repro.pipeline.core import SMTCore
+from repro.rmt.slack import SlackFetchPolicy
+from repro.sim.results import SimResult
+from repro.sim.simulator import _functional_warmup, _package, simulate_single_thread
+from repro.workload.generator import generate_trace
+from repro.workload.spec2000 import get_profile
+
+
+@dataclass
+class RedundantRunResult:
+    """Outcome of one redundant run plus its unprotected baseline."""
+
+    program: str
+    redundant: SimResult      # two copies on the SMT machine
+    solo: SimResult           # one copy alone (unprotected baseline)
+    min_slack: int
+    max_slack: int
+    trailer_gated_cycles: int
+    leader_gated_cycles: int
+
+    @property
+    def logical_ipc(self) -> float:
+        """Throughput of the *protected program*: the leading copy's IPC."""
+        return self.redundant.threads[0].ipc
+
+    @property
+    def redundancy_tax(self) -> float:
+        """Fractional slowdown of the logical program vs running unprotected."""
+        if self.solo.ipc <= 0:
+            return 0.0
+        return 1.0 - self.logical_ipc / self.solo.ipc
+
+    @property
+    def trailer_dl1_benefit(self) -> bool:
+        """True when the pair's DL1 miss rate beats doubling the solo rate —
+        the leader's accesses prefetch for the trailer."""
+        return self.redundant.dl1_miss_rate < self.solo.dl1_miss_rate * 1.05
+
+    def summary(self) -> str:
+        return (
+            f"RMT {self.program}: logical IPC {self.logical_ipc:.3f} vs solo "
+            f"{self.solo.ipc:.3f} (tax {self.redundancy_tax:.1%}); "
+            f"slack [{self.min_slack}, {self.max_slack}], trailer gated "
+            f"{self.trailer_gated_cycles} cycles, leader gated "
+            f"{self.leader_gated_cycles}"
+        )
+
+
+def run_redundant(program: str,
+                  instructions: int = 2500,
+                  min_slack: int = 32,
+                  max_slack: int = 256,
+                  config: Optional[MachineConfig] = None,
+                  seed: int = 1) -> RedundantRunResult:
+    """Run ``program`` as an SRT pair and against its unprotected baseline.
+
+    Both copies execute the identical trace (their address spaces differ by
+    context, as two address-space-identical copies would differ physically).
+    The run ends when the *leader* commits ``instructions``.
+    """
+    config = config or DEFAULT_CONFIG
+    # Budget covers leader + trailer commits.
+    sim = SimConfig(max_instructions=2 * instructions, seed=seed)
+    profile = get_profile(program)
+    traces = [generate_trace(profile, tid, instructions, seed=seed)
+              for tid in (0, 1)]
+    policy = SlackFetchPolicy(leader=0, trailer=1,
+                              min_slack=min_slack, max_slack=max_slack)
+    core = SMTCore(traces, config, policy, sim)
+    if sim.functional_warmup:
+        _functional_warmup(core, traces)
+    cycles = core.run()
+    redundant = _package(core, [program, program], [program, program],
+                         policy, cycles)
+    solo = simulate_single_thread(program, instructions, config=config,
+                                  seed=seed)
+    return RedundantRunResult(
+        program=program,
+        redundant=redundant,
+        solo=solo,
+        min_slack=min_slack,
+        max_slack=max_slack,
+        trailer_gated_cycles=policy.trailer_gated_cycles,
+        leader_gated_cycles=policy.leader_gated_cycles,
+    )

@@ -1,0 +1,25 @@
+"""Top-level simulation API.
+
+:func:`repro.sim.simulate` runs one SMT workload and returns a
+:class:`~repro.sim.results.SimResult` bundling performance counters with the
+AVF report; :func:`repro.sim.simulate_single_thread` runs one program alone
+for the paper's SMT-vs-superscalar comparisons.
+"""
+
+from repro.sim.simulator import simulate, simulate_single_thread, build_traces
+from repro.sim.results import SimResult, ThreadResult
+from repro.sim.export import result_to_dict, result_to_json, results_to_csv
+from repro.sim.compare import ResultComparison, compare_results
+
+__all__ = [
+    "simulate",
+    "simulate_single_thread",
+    "build_traces",
+    "SimResult",
+    "ThreadResult",
+    "result_to_dict",
+    "result_to_json",
+    "results_to_csv",
+    "ResultComparison",
+    "compare_results",
+]

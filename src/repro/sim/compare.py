@@ -1,0 +1,102 @@
+"""Design-point comparison: diff two simulation results.
+
+The questions this library exists for are comparative — does FLUSH beat
+ICOUNT here, what did doubling the IQ cost, is this machine safer for that
+workload — so give the comparison a first-class representation: per-
+structure AVF deltas, the IPC movement, and the reliability-efficiency
+ratio that decides the trade-off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.avf.structures import FIGURE1_ORDER, Structure
+from repro.errors import ReproError
+from repro.metrics.reliability import reliability_efficiency
+from repro.sim.results import SimResult
+
+
+@dataclass(frozen=True)
+class StructureDelta:
+    """One structure's movement between two design points."""
+
+    structure: Structure
+    baseline_avf: float
+    candidate_avf: float
+
+    @property
+    def absolute(self) -> float:
+        return self.candidate_avf - self.baseline_avf
+
+    @property
+    def relative(self) -> float:
+        if self.baseline_avf == 0:
+            return float("inf") if self.candidate_avf > 0 else 0.0
+        return self.candidate_avf / self.baseline_avf - 1.0
+
+
+@dataclass
+class ResultComparison:
+    """Candidate vs baseline: who wins what."""
+
+    baseline: SimResult
+    candidate: SimResult
+    deltas: Dict[Structure, StructureDelta] = field(default_factory=dict)
+
+    @property
+    def ipc_gain(self) -> float:
+        if self.baseline.ipc <= 0:
+            raise ReproError("baseline IPC must be positive")
+        return self.candidate.ipc / self.baseline.ipc - 1.0
+
+    def efficiency_ratio(self, structure: Structure) -> float:
+        """(candidate IPC/AVF) / (baseline IPC/AVF); >1 = candidate wins."""
+        base = reliability_efficiency(self.baseline.ipc,
+                                      self.baseline.avf.avf[structure])
+        cand = reliability_efficiency(self.candidate.ipc,
+                                      self.candidate.avf.avf[structure])
+        if base == float("inf"):
+            return 1.0 if cand == float("inf") else 0.0
+        if cand == float("inf"):
+            return float("inf")
+        return cand / base
+
+    def improved(self, structure: Structure) -> bool:
+        """True when the candidate's trade-off beats the baseline's here."""
+        return self.efficiency_ratio(structure) > 1.0
+
+    def summary(self) -> str:
+        lines = [
+            f"{self.candidate.workload} [{self.candidate.policy}] vs "
+            f"[{self.baseline.policy}]: IPC {self.baseline.ipc:.3f} -> "
+            f"{self.candidate.ipc:.3f} ({self.ipc_gain:+.1%})",
+            f"{'structure':<10} {'base AVF':>9} {'cand AVF':>9} "
+            f"{'ΔAVF':>8} {'eff ratio':>10}",
+        ]
+        for s in FIGURE1_ORDER:
+            if s not in self.deltas:
+                continue
+            d = self.deltas[s]
+            lines.append(
+                f"{s.value:<10} {d.baseline_avf:9.4f} {d.candidate_avf:9.4f} "
+                f"{d.absolute:+8.4f} {self.efficiency_ratio(s):10.3f}"
+            )
+        return "\n".join(lines)
+
+
+def compare_results(baseline: SimResult, candidate: SimResult) -> ResultComparison:
+    """Build the per-structure diff between two simulation results."""
+    if baseline.workload != candidate.workload:
+        raise ReproError(
+            f"comparing different workloads: {baseline.workload!r} vs "
+            f"{candidate.workload!r}")
+    comparison = ResultComparison(baseline=baseline, candidate=candidate)
+    for s in Structure:
+        comparison.deltas[s] = StructureDelta(
+            structure=s,
+            baseline_avf=baseline.avf.avf[s],
+            candidate_avf=candidate.avf.avf[s],
+        )
+    return comparison

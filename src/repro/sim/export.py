@@ -1,0 +1,94 @@
+"""Result exporters: JSON and CSV serialisation of simulation outputs.
+
+Downstream users typically post-process AVF results (plotting, regression
+tracking, comparing design points); these helpers flatten a
+:class:`~repro.sim.results.SimResult` — or a collection of them — into
+stable, versioned dictionaries and CSV rows.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Dict, Iterable, List
+
+from repro.avf.structures import Structure
+from repro.sim.results import SimResult
+
+#: Bump when the exported schema changes shape.
+SCHEMA_VERSION = 1
+
+
+def result_to_dict(result: SimResult) -> Dict:
+    """Flatten one simulation result into a JSON-serialisable dict."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "workload": result.workload,
+        "policy": result.policy,
+        "num_threads": result.num_threads,
+        "cycles": result.cycles,
+        "committed": result.committed,
+        "ipc": result.ipc,
+        "miss_rates": {
+            "dl1": result.dl1_miss_rate,
+            "l2": result.l2_miss_rate,
+            "il1": result.il1_miss_rate,
+            "dtlb": result.dtlb_miss_rate,
+        },
+        "mispredict_squashes": result.mispredict_squashes,
+        "avf": {s.value: result.avf.avf[s] for s in Structure},
+        "utilization": {s.value: result.avf.utilization[s] for s in Structure},
+        "thread_avf": {
+            s.value: {str(t): v for t, v in result.avf.thread_avf[s].items()}
+            for s in Structure
+        },
+        "threads": [
+            {
+                "thread_id": t.thread_id,
+                "program": t.program,
+                "committed": t.committed,
+                "ipc": t.ipc,
+                "fetched": t.fetched,
+                "wrong_path_fetched": t.wrong_path_fetched,
+                "branch_mispredict_rate": t.branch_mispredict_rate,
+            }
+            for t in result.threads
+        ],
+        "processor_avf": result.avf.processor_avf(),
+    }
+
+
+def result_to_json(result: SimResult, indent: int = 2) -> str:
+    """One result as a JSON document."""
+    return json.dumps(result_to_dict(result), indent=indent, sort_keys=True)
+
+
+#: Column order of the CSV export (one row per simulation).
+CSV_COLUMNS: List[str] = (
+    ["workload", "policy", "num_threads", "cycles", "committed", "ipc",
+     "dl1_miss_rate", "l2_miss_rate"]
+    + [f"avf_{s.value}" for s in Structure]
+)
+
+
+def results_to_csv(results: Iterable[SimResult]) -> str:
+    """Many results as a CSV table, one row each."""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=CSV_COLUMNS)
+    writer.writeheader()
+    for r in results:
+        row = {
+            "workload": r.workload,
+            "policy": r.policy,
+            "num_threads": r.num_threads,
+            "cycles": r.cycles,
+            "committed": r.committed,
+            "ipc": r.ipc,
+            "dl1_miss_rate": r.dl1_miss_rate,
+            "l2_miss_rate": r.l2_miss_rate,
+        }
+        for s in Structure:
+            row[f"avf_{s.value}"] = r.avf.avf[s]
+        writer.writerow(row)
+    return buffer.getvalue()

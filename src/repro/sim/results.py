@@ -1,0 +1,71 @@
+"""Simulation results: performance counters joined with the AVF report."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.avf.report import AvfReport
+from repro.avf.structures import Structure
+from repro.metrics.reliability import reliability_efficiency
+
+
+@dataclass(frozen=True)
+class ThreadResult:
+    """Per-thread outcome of one simulation."""
+
+    thread_id: int
+    program: str
+    committed: int
+    ipc: float
+    fetched: int
+    wrong_path_fetched: int
+    branch_mispredict_rate: float
+
+
+@dataclass
+class SimResult:
+    """Everything one simulation produced."""
+
+    workload: str
+    policy: str
+    num_threads: int
+    cycles: int
+    committed: int
+    ipc: float
+    threads: List[ThreadResult]
+    avf: AvfReport
+    dl1_miss_rate: float
+    l2_miss_rate: float
+    il1_miss_rate: float
+    dtlb_miss_rate: float
+    mispredict_squashes: int
+    extra: Dict[str, float] = field(default_factory=dict)
+    phase_series: object = None
+    """A :class:`repro.avf.phases.PhaseSeries` when the run was configured
+    with ``SimConfig(phase_window_cycles > 0)``, else None."""
+
+    def thread_ipcs(self) -> Tuple[float, ...]:
+        return tuple(t.ipc for t in self.threads)
+
+    def efficiency(self, structure: Structure) -> float:
+        """Reliability efficiency IPC/AVF for one structure."""
+        return reliability_efficiency(self.ipc, self.avf.avf[structure])
+
+    def structure_avf(self, structure: Structure) -> float:
+        return self.avf.avf[structure]
+
+    def utilization_bound(self, structure: Structure) -> float:
+        """Upper bound on the structure's AVF: its occupied fraction.
+
+        ACE residency is a subset of occupancy, so ``avf <= utilization``
+        always holds (modulo floating-point rounding); invariant tests lean
+        on this.
+        """
+        return self.avf.utilization[structure] + 1e-9
+
+    def summary(self) -> str:
+        head = (f"{self.workload} [{self.policy}] "
+                f"cycles={self.cycles} committed={self.committed} ipc={self.ipc:.3f} "
+                f"dl1_miss={self.dl1_miss_rate:.3f} l2_miss={self.l2_miss_rate:.3f}")
+        return head + "\n" + self.avf.format_table()

@@ -1,0 +1,20 @@
+"""Pipeline storage structures: shared IQ, register file and FU pool; per-thread ROB and LSQ.
+
+Each structure reports occupancy intervals to the AVF engine at deallocation
+time, when the final ACE status of the occupant (committed vs squashed,
+value read vs dead) is known.
+"""
+
+from repro.structures.regfile import PhysicalRegisterFile
+from repro.structures.rob import ReorderBuffer
+from repro.structures.issue_queue import SharedIssueQueue
+from repro.structures.lsq import LoadStoreQueue
+from repro.structures.functional_units import FunctionalUnitPool
+
+__all__ = [
+    "PhysicalRegisterFile",
+    "ReorderBuffer",
+    "SharedIssueQueue",
+    "LoadStoreQueue",
+    "FunctionalUnitPool",
+]

@@ -1,0 +1,74 @@
+"""Shared functional-unit pool (Table 1: 8 I-ALU, 4 I-MUL/DIV, 4 LD/ST AGUs,
+8 FP-ALU, 4 FP-MUL/DIV/SQRT).
+
+Single-cycle units are fully pipelined (busy one cycle per operation);
+multi-cycle units are occupied for their whole latency.  Every busy
+unit-cycle is reported to the AVF engine: a unit computing an ACE
+instruction exposes ACE latch bits that cycle, an idle or wrong-path unit
+does not — which is why FU AVF tracks utilisation in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.avf.engine import AvfEngine
+from repro.config import MachineConfig
+from repro.isa.instruction import DynInstr
+from repro.isa.opcodes import FUType, OpClass, execution_latency, fu_type_for
+
+
+class FunctionalUnitPool:
+    """Occupancy-tracked pool of all execution resources."""
+
+    def __init__(self, config: MachineConfig, engine: AvfEngine) -> None:
+        self._config = config
+        self._engine = engine
+        self._counts: Dict[FUType, int] = {
+            FUType.INT_ALU: config.int_alus,
+            FUType.INT_MULDIV: config.int_mult_div,
+            FUType.LOAD_STORE: config.load_store_units,
+            FUType.FP_ALU: config.fp_alus,
+            FUType.FP_MULDIV: config.fp_mult_div,
+        }
+        # Busy reservations: (release_cycle, instr) per unit type.
+        self._busy: Dict[FUType, List[Tuple[int, DynInstr]]] = {
+            fu: [] for fu in FUType
+        }
+        self.issued_ops = 0
+        self.busy_unit_cycles = 0
+
+    def latency_of(self, op: OpClass) -> int:
+        return execution_latency(op, self._config)
+
+    def available(self, fu: FUType) -> int:
+        return self._counts[fu] - len(self._busy[fu])
+
+    def can_issue(self, op: OpClass) -> bool:
+        return self.available(fu_type_for(op)) > 0
+
+    def issue(self, instr: DynInstr, cycle: int) -> int:
+        """Reserve a unit for ``instr``; returns its execution latency."""
+        fu = fu_type_for(instr.op)
+        latency = self.latency_of(instr.op)
+        self._busy[fu].append((cycle + latency, instr))
+        self.issued_ops += 1
+        return latency
+
+    def tick(self, cycle: int) -> None:
+        """Account this cycle's busy units and release finished reservations.
+
+        Called once per cycle after issue, so a unit granted this cycle also
+        counts as busy this cycle.
+        """
+        for fu, reservations in self._busy.items():
+            if not reservations:
+                continue
+            for release, instr in reservations:
+                self._engine.fu_busy_cycle(instr.thread_id, instr.is_ace, cycle)
+                self.busy_unit_cycles += 1
+            self._busy[fu] = [r for r in reservations if r[0] > cycle + 1]
+
+    @property
+    def total_units(self) -> int:
+        return sum(self._counts.values())

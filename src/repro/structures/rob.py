@@ -1,0 +1,82 @@
+"""Per-thread reorder buffer.
+
+Entries live from dispatch to commit (or squash); the occupancy interval is
+reported to the AVF engine at removal, when the entry's final ACE status is
+known.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional
+
+from repro.avf.engine import AvfEngine
+from repro.avf.structures import Structure
+from repro.errors import StructureError
+from repro.isa.instruction import DynInstr
+
+
+class ReorderBuffer:
+    """In-order window of one thread's in-flight instructions."""
+
+    def __init__(self, thread_id: int, capacity: int, engine: AvfEngine) -> None:
+        if capacity <= 0:
+            raise StructureError("ROB capacity must be positive")
+        self.thread_id = thread_id
+        self.capacity = capacity
+        self._entries: Deque[DynInstr] = deque()
+        self._engine = engine
+        self.peak_occupancy = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    @property
+    def empty(self) -> bool:
+        return not self._entries
+
+    def head(self) -> Optional[DynInstr]:
+        return self._entries[0] if self._entries else None
+
+    def push(self, instr: DynInstr, cycle: int) -> None:
+        if self.full:
+            raise StructureError(f"ROB[t{self.thread_id}] overflow")
+        instr.rob_index = len(self._entries)
+        self._entries.append(instr)
+        if len(self._entries) > self.peak_occupancy:
+            self.peak_occupancy = len(self._entries)
+
+    def pop_head(self, cycle: int) -> DynInstr:
+        """Commit the oldest instruction and account its ROB residency."""
+        if not self._entries:
+            raise StructureError(f"ROB[t{self.thread_id}] underflow")
+        instr = self._entries.popleft()
+        self._accrue(instr, cycle)
+        return instr
+
+    def squash_younger_than(self, boundary_stamp: int, cycle: int) -> List[DynInstr]:
+        """Remove entries fetched after ``boundary_stamp``, youngest first.
+
+        Returns the squashed instructions in reverse program order — the
+        order required for rename-map restoration.
+        """
+        squashed: List[DynInstr] = []
+        while self._entries and self._entries[-1].fetch_stamp > boundary_stamp:
+            instr = self._entries.pop()
+            instr.squashed = True
+            self._accrue(instr, cycle)
+            squashed.append(instr)
+        return squashed
+
+    def drain(self, cycle: int) -> None:
+        """Account all remaining entries at end of simulation."""
+        while self._entries:
+            self._accrue(self._entries.popleft(), cycle)
+
+    def _accrue(self, instr: DynInstr, cycle: int) -> None:
+        self._engine.occupy(Structure.ROB, self.thread_id,
+                            instr.renamed_at, cycle, instr.is_ace)

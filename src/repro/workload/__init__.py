@@ -1,0 +1,28 @@
+"""Synthetic SPEC CPU 2000 workload models and Table 2 SMT mixes.
+
+The paper drives its simulator with SimPoint regions of SPEC CPU 2000
+binaries.  Those binaries (and an Alpha functional front end) are not
+available here, so each program is replaced by a *statistical workload
+model*: a deterministic generator parameterised by the program's published
+behavioural character — instruction mix, dependency distances, branch
+predictability, and memory working-set/locality (which induces its L1/L2
+miss-rate class).  DESIGN.md section 2 documents the substitution.
+"""
+
+from repro.workload.spec2000 import BenchmarkProfile, PROFILES, get_profile, Category
+from repro.workload.generator import ThreadTrace, generate_trace, WrongPathSynthesizer
+from repro.workload.mixes import WorkloadMix, TABLE2_MIXES, get_mix, mixes_for
+
+__all__ = [
+    "BenchmarkProfile",
+    "PROFILES",
+    "get_profile",
+    "Category",
+    "ThreadTrace",
+    "generate_trace",
+    "WrongPathSynthesizer",
+    "WorkloadMix",
+    "TABLE2_MIXES",
+    "get_mix",
+    "mixes_for",
+]

@@ -1,0 +1,84 @@
+"""Branch behaviour model for the statistical workload generator.
+
+Each thread owns a fixed population of *branch sites* (static branches).
+A site is one of three kinds, with proportions set by the profile's
+``branch_predictability`` and ``loop_fraction``:
+
+* ``BIASED``  — strongly taken or strongly not-taken; a gshare predictor
+  learns it almost perfectly.
+* ``LOOP``    — taken ``period-1`` times then not-taken once (a counted
+  loop back-edge); learnable by history-based predictors.
+* ``RANDOM``  — a data-dependent branch with ~50% taken rate; essentially
+  unpredictable.
+
+The generator *records the true outcome* in the trace; the pipeline's real
+gshare/BTB/RAS then predicts it, so misprediction rates are emergent rather
+than dialled in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+from typing import List
+
+import numpy as np
+
+from repro.workload.spec2000 import BenchmarkProfile
+
+
+class SiteKind(Enum):
+    BIASED = auto()
+    LOOP = auto()
+    RANDOM = auto()
+
+
+@dataclass
+class BranchSite:
+    """One static conditional branch of the modelled program."""
+
+    pc: int
+    kind: SiteKind
+    taken_prob: float = 0.5   # BIASED/RANDOM
+    period: int = 8           # LOOP
+    counter: int = 0          # LOOP progress
+    target: int = 0           # taken target (stable per site)
+
+    def next_outcome(self, rng: np.random.Generator) -> bool:
+        if self.kind is SiteKind.LOOP:
+            self.counter = (self.counter + 1) % self.period
+            return self.counter != 0
+        return bool(rng.random() < self.taken_prob)
+
+
+class BranchModel:
+    """Per-thread population of branch sites with stable PCs and targets."""
+
+    def __init__(self, profile: BenchmarkProfile, code_stream,
+                 rng: np.random.Generator) -> None:
+        self._rng = rng
+        self._sites: List[BranchSite] = []
+        n = max(profile.branch_sites, 1)
+        for _ in range(n):
+            pc = code_stream.random_block_start()
+            target = code_stream.random_block_start()
+            r = rng.random()
+            if r < profile.branch_predictability * profile.loop_fraction:
+                site = BranchSite(pc=pc, kind=SiteKind.LOOP,
+                                  period=int(rng.integers(4, 64)), target=target)
+            elif r < profile.branch_predictability:
+                bias = 0.95 if rng.random() < profile.taken_bias else 0.05
+                site = BranchSite(pc=pc, kind=SiteKind.BIASED,
+                                  taken_prob=bias, target=target)
+            else:
+                site = BranchSite(pc=pc, kind=SiteKind.RANDOM,
+                                  taken_prob=0.5, target=target)
+            self._sites.append(site)
+
+    def pick_site(self) -> BranchSite:
+        """Select the site executed next (uniform over the population)."""
+        return self._sites[int(self._rng.integers(0, len(self._sites)))]
+
+    @property
+    def sites(self) -> List[BranchSite]:
+        return self._sites

@@ -1,0 +1,113 @@
+"""Workload characterisation: the paper's Section 3 classification procedure.
+
+"We first categorize a SPEC benchmark into CPU intensive (CPU) or memory
+intensive (MEM) based on its IPC and cache miss rate after performing a
+simulation of 100M instructions from the selected execution point."
+
+This module reproduces that procedure at reproduction scale: run each
+program standalone, collect its IPC, cache miss rates and branch behaviour,
+and classify it with the same two signals.  The classification test suite
+checks that every built-in profile lands in the category Table 2 assigns
+it — validating that the statistical models actually *behave like* the
+class of program they stand in for, not merely that they are labelled so.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.config import MachineConfig, SimConfig
+from repro.sim.simulator import simulate
+from repro.workload.spec2000 import Category, get_profile
+
+#: Classification thresholds.  The paper does not state its cut-offs; these
+#: are chosen so the two signals agree for unambiguous programs, with the
+#: miss-rate signal dominating for the borderline ones (a low-IPC but
+#: cache-resident program is CPU-bound in the paper's sense: it does not
+#: stall on memory).
+IPC_THRESHOLD = 1.2
+DL1_MISS_THRESHOLD = 0.12
+L2_TRAFFIC_THRESHOLD = 0.02   # L2 misses per committed instruction
+
+
+@dataclass(frozen=True)
+class ProgramCharacter:
+    """Standalone behavioural measurements of one program model."""
+
+    program: str
+    ipc: float
+    dl1_miss_rate: float
+    l2_misses_per_instruction: float
+    branch_mispredict_rate: float
+    declared_category: Category
+
+    @property
+    def measured_category(self) -> Category:
+        """Classify from the measurements, as the paper's Section 3 does."""
+        memory_bound = (
+            self.l2_misses_per_instruction > L2_TRAFFIC_THRESHOLD
+            or (self.dl1_miss_rate > DL1_MISS_THRESHOLD
+                and self.ipc < IPC_THRESHOLD)
+        )
+        return Category.MEM if memory_bound else Category.CPU
+
+    @property
+    def classification_agrees(self) -> bool:
+        return self.measured_category is self.declared_category
+
+
+def characterize(program: str, instructions: int = 3000,
+                 config: Optional[MachineConfig] = None,
+                 seed: int = 1) -> ProgramCharacter:
+    """Measure one program model running alone on the Table 1 machine."""
+    profile = get_profile(program)
+    result = simulate([program], policy="ICOUNT", config=config,
+                      sim=SimConfig(max_instructions=instructions, seed=seed))
+    mem = result.extra  # unused; kept for symmetry
+    del mem
+    l2_mpi = 0.0
+    if result.committed:
+        # dl1 misses that also miss the L2, per committed instruction.
+        l2_mpi = (result.l2_miss_rate * result.dl1_miss_rate
+                  * _memory_fraction(profile))
+    return ProgramCharacter(
+        program=program,
+        ipc=result.ipc,
+        dl1_miss_rate=result.dl1_miss_rate,
+        l2_misses_per_instruction=l2_mpi,
+        branch_mispredict_rate=result.threads[0].branch_mispredict_rate,
+        declared_category=profile.category,
+    )
+
+
+def _memory_fraction(profile) -> float:
+    return profile.frac_load + profile.frac_store
+
+
+def characterize_all(instructions: int = 3000,
+                     config: Optional[MachineConfig] = None,
+                     seed: int = 1) -> Dict[str, ProgramCharacter]:
+    """Characterise every built-in SPEC 2000 program model."""
+    from repro.workload.spec2000 import PROFILES
+
+    return {
+        name: characterize(name, instructions=instructions, config=config,
+                           seed=seed)
+        for name in sorted(PROFILES)
+    }
+
+
+def format_characterization(chars: Dict[str, ProgramCharacter]) -> str:
+    """Render the measurements as the classification table of Section 3."""
+    lines = [f"{'program':<10} {'IPC':>6} {'DL1 miss':>9} {'L2 MPI':>8} "
+             f"{'br-miss':>8} {'declared':>9} {'measured':>9}"]
+    for name, c in chars.items():
+        lines.append(
+            f"{name:<10} {c.ipc:6.2f} {c.dl1_miss_rate:9.3f} "
+            f"{c.l2_misses_per_instruction:8.4f} "
+            f"{c.branch_mispredict_rate:8.3f} "
+            f"{c.declared_category.value:>9} {c.measured_category.value:>9}"
+            + ("" if c.classification_agrees else "  <-- disagrees")
+        )
+    return "\n".join(lines)

@@ -1,0 +1,76 @@
+"""Static memory-reference sites: PC-correlated access behaviour.
+
+Real programs' cache behaviour is strongly correlated with the load's
+program counter: the load inside a pointer-chase loop misses every time,
+the one reading the loop counter from the stack never does.  PC-indexed
+miss predictors (the PDG fetch policy, and the L2-miss-predictive FLUSH
+variant the paper's Section 5 proposes) exploit exactly that correlation.
+
+The site model makes the correlation exist in synthetic traces: the access
+*kind* of a memory instruction is a deterministic function of its PC.  A
+per-thread table assigns every PC slot one of the three address-stream
+components (sequential stream, fresh pointer-chase, hot region) with
+probabilities from the profile's mix, so the same PC always exhibits the
+same behaviour while the aggregate component mix matches the profile.
+"""
+
+from __future__ import annotations
+
+from enum import Enum, auto
+from typing import List
+
+import numpy as np
+
+from repro.workload.address_stream import AddressStream
+from repro.workload.spec2000 import BenchmarkProfile
+
+
+class SiteKind(Enum):
+    SEQ = auto()     # array walk: misses on each new line, hits within it
+    FRESH = auto()   # pointer chase: misses every level of the hierarchy
+    HOT = auto()     # stack/locals: L1-resident
+
+
+class MemorySiteModel:
+    """Deterministic PC -> access-kind mapping for one thread."""
+
+    #: Static memory-reference site slots per thread.  PCs alias onto these,
+    #: mimicking a program with this many distinct loads/stores in its hot
+    #: code.
+    NUM_SITES = 128
+
+    def __init__(self, profile: BenchmarkProfile, stream: AddressStream,
+                 rng: np.random.Generator) -> None:
+        self._stream = stream
+        self._kinds: List[SiteKind] = []
+        self._stream_slot: List[int] = []
+        seq_frac = profile.sequential_fraction
+        fresh_frac = profile.fresh_fraction
+        for i in range(self.NUM_SITES):
+            r = rng.random()
+            if r < seq_frac:
+                self._kinds.append(SiteKind.SEQ)
+            elif r < seq_frac + fresh_frac:
+                self._kinds.append(SiteKind.FRESH)
+            else:
+                self._kinds.append(SiteKind.HOT)
+            self._stream_slot.append(int(rng.integers(0, stream.num_streams)))
+
+    def _site_index(self, pc: int) -> int:
+        return (pc >> 2) % self.NUM_SITES
+
+    def kind_for(self, pc: int) -> SiteKind:
+        """The fixed access kind of the memory instruction at ``pc``."""
+        return self._kinds[self._site_index(pc)]
+
+    def address_for(self, pc: int, size: int = 8) -> int:
+        """Generate the next address for the site at ``pc``."""
+        idx = self._site_index(pc)
+        kind = self._kinds[idx]
+        if kind is SiteKind.SEQ:
+            addr = self._stream.stream_address(self._stream_slot[idx])
+        elif kind is SiteKind.FRESH:
+            addr = self._stream.fresh_address()
+        else:
+            addr = self._stream.hot_address()
+        return addr - (addr % size)

@@ -1,0 +1,25 @@
+"""Shared fixtures: small, fast configurations for unit/integration tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import MachineConfig, SimConfig
+
+
+@pytest.fixture
+def config() -> MachineConfig:
+    """The Table 1 machine."""
+    return MachineConfig()
+
+
+@pytest.fixture
+def tiny_sim() -> SimConfig:
+    """A very short run for pipeline integration tests."""
+    return SimConfig(max_instructions=800, max_cycles=2_000_000)
+
+
+@pytest.fixture
+def small_sim() -> SimConfig:
+    """A short-but-meaningful run for behavioural assertions."""
+    return SimConfig(max_instructions=4000, max_cycles=5_000_000)

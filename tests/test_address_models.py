@@ -1,0 +1,163 @@
+"""Address/code/branch/site models of the workload substrate."""
+
+import numpy as np
+import pytest
+
+from repro.workload.address_stream import (
+    DATA_SEGMENT_BASE,
+    NON_TEMPORAL_BASE,
+    NON_TEMPORAL_LIMIT,
+    THREAD_ADDRESS_SPACE,
+    AddressStream,
+    CodeStream,
+    is_non_temporal,
+)
+from repro.workload.branches import BranchModel, SiteKind as BranchKind
+from repro.workload.mem_sites import MemorySiteModel, SiteKind
+from repro.workload.spec2000 import get_profile
+
+
+def _rng(seed=1):
+    return np.random.Generator(np.random.PCG64(seed))
+
+
+class TestAddressStream:
+    def test_addresses_inside_thread_space(self):
+        for tid in (0, 3, 7):
+            stream = AddressStream(get_profile("gcc"), tid, _rng())
+            for _ in range(200):
+                addr = stream.next_address()
+                assert tid * THREAD_ADDRESS_SPACE <= addr < (tid + 1) * THREAD_ADDRESS_SPACE
+
+    def test_alignment(self):
+        stream = AddressStream(get_profile("gcc"), 0, _rng())
+        for _ in range(100):
+            assert stream.next_address(8) % 8 == 0
+
+    def test_small_working_set_is_warmable(self):
+        stream = AddressStream(get_profile("bzip2"), 0, _rng())  # 40 KB
+        for _ in range(300):
+            assert not is_non_temporal(stream.next_address())
+
+    def test_mcf_fresh_accesses_are_non_temporal(self):
+        stream = AddressStream(get_profile("mcf"), 0, _rng())
+        flags = [is_non_temporal(stream.fresh_address()) for _ in range(50)]
+        assert all(flags)
+
+    def test_hot_addresses_always_warmable(self):
+        stream = AddressStream(get_profile("mcf"), 0, _rng())
+        assert not any(is_non_temporal(stream.hot_address()) for _ in range(50))
+
+    def test_large_streams_are_non_temporal(self):
+        stream = AddressStream(get_profile("swim"), 0, _rng())  # 16 MB > limit
+        assert get_profile("swim").working_set_bytes > NON_TEMPORAL_LIMIT
+        assert all(is_non_temporal(stream.stream_address(i % 8))
+                   for i in range(50))
+
+    def test_stream_addresses_are_sequential(self):
+        stream = AddressStream(get_profile("swim"), 0, _rng())
+        a = stream.stream_address(0)
+        b = stream.stream_address(0)
+        assert b - a == get_profile("swim").stride_bytes
+
+    def test_fresh_addresses_rarely_repeat_lines(self):
+        stream = AddressStream(get_profile("mcf"), 0, _rng())
+        lines = {stream.fresh_address() >> 6 for _ in range(500)}
+        assert len(lines) > 450
+
+    def test_non_temporal_flag_by_region(self):
+        base = 2 * THREAD_ADDRESS_SPACE
+        assert not is_non_temporal(base + DATA_SEGMENT_BASE + 100)
+        assert is_non_temporal(base + NON_TEMPORAL_BASE + 100)
+
+
+class TestCodeStream:
+    def test_pcs_stay_in_footprint(self):
+        code = CodeStream(get_profile("gcc"), 2, _rng())
+        footprint = get_profile("gcc").code_bytes
+        base = 2 * THREAD_ADDRESS_SPACE
+        for _ in range(3000):
+            pc = code.advance()
+            assert base <= pc < base + footprint
+
+    def test_advance_is_sequential(self):
+        code = CodeStream(get_profile("gcc"), 0, _rng())
+        a = code.advance()
+        b = code.advance()
+        assert b - a == CodeStream.INSTR_BYTES
+
+    def test_jump_redirects(self):
+        code = CodeStream(get_profile("gcc"), 0, _rng())
+        target = code.random_block_start()
+        assert code.jump_to(target) == target
+        assert code.pc == target
+
+    def test_targets_concentrate_in_hot_region(self):
+        code = CodeStream(get_profile("gcc"), 0, _rng())
+        hot_limit = max(get_profile("gcc").code_bytes // 8, 2048)
+        hot = sum(1 for _ in range(400)
+                  if code.random_block_start() < hot_limit)
+        assert hot > 250  # ~85% by construction
+
+
+class TestBranchModel:
+    def test_site_population(self):
+        profile = get_profile("crafty")
+        model = BranchModel(profile, CodeStream(profile, 0, _rng()), _rng())
+        assert len(model.sites) == profile.branch_sites
+
+    def test_loop_sites_follow_period(self):
+        profile = get_profile("swim")
+        model = BranchModel(profile, CodeStream(profile, 0, _rng()), _rng())
+        loop = next(s for s in model.sites if s.kind is BranchKind.LOOP)
+        outcomes = [loop.next_outcome(_rng()) for _ in range(loop.period * 3)]
+        assert outcomes.count(False) == 3  # one exit per period
+
+    def test_predictability_mix(self):
+        profile = get_profile("swim")  # 0.99 predictable
+        model = BranchModel(profile, CodeStream(profile, 0, _rng()), _rng())
+        random_sites = sum(1 for s in model.sites if s.kind is BranchKind.RANDOM)
+        assert random_sites <= len(model.sites) * 0.1
+
+
+class TestMemorySites:
+    def test_kind_is_stable_per_pc(self):
+        profile = get_profile("mcf")
+        stream = AddressStream(profile, 0, _rng())
+        sites = MemorySiteModel(profile, stream, _rng())
+        for pc in (0x100, 0x204, 0x1000):
+            kinds = {sites.kind_for(pc) for _ in range(5)}
+            assert len(kinds) == 1
+
+    def test_kind_mix_follows_profile(self):
+        profile = get_profile("mcf")  # seq 0.05, fresh 0.5
+        stream = AddressStream(profile, 0, _rng())
+        sites = MemorySiteModel(profile, stream, _rng())
+        kinds = [sites.kind_for(pc * 4) for pc in range(MemorySiteModel.NUM_SITES)]
+        fresh = sum(1 for k in kinds if k is SiteKind.FRESH)
+        assert 0.3 < fresh / len(kinds) < 0.7
+
+    def test_fresh_site_generates_non_temporal_addresses(self):
+        profile = get_profile("mcf")
+        stream = AddressStream(profile, 0, _rng())
+        sites = MemorySiteModel(profile, stream, _rng())
+        fresh_pc = next(pc * 4 for pc in range(512)
+                        if sites.kind_for(pc * 4) is SiteKind.FRESH)
+        for _ in range(10):
+            assert is_non_temporal(sites.address_for(fresh_pc))
+
+    def test_hot_site_generates_warmable_addresses(self):
+        profile = get_profile("mcf")
+        stream = AddressStream(profile, 0, _rng())
+        sites = MemorySiteModel(profile, stream, _rng())
+        hot_pc = next(pc * 4 for pc in range(512)
+                      if sites.kind_for(pc * 4) is SiteKind.HOT)
+        for _ in range(10):
+            assert not is_non_temporal(sites.address_for(hot_pc))
+
+    def test_addresses_aligned(self):
+        profile = get_profile("gcc")
+        stream = AddressStream(profile, 0, _rng())
+        sites = MemorySiteModel(profile, stream, _rng())
+        for pc in range(0, 256, 4):
+            assert sites.address_for(pc, 8) % 8 == 0

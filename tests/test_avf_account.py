@@ -1,0 +1,93 @@
+"""VulnerabilityAccount: the ACE entry-cycle ledger."""
+
+import pytest
+
+from repro.avf.account import NO_THREAD, VulnerabilityAccount
+from repro.errors import StructureError
+
+
+class TestRecording:
+    def test_ace_and_unace_separate(self):
+        acct = VulnerabilityAccount("x", capacity=10)
+        acct.add(0, 5.0, ace=True)
+        acct.add(0, 3.0, ace=False)
+        assert acct.total_ace() == 5.0
+        assert acct.total_unace() == 3.0
+
+    def test_negative_amount_ignored(self):
+        acct = VulnerabilityAccount("x", capacity=10)
+        acct.add(0, -1.0, ace=True)
+        acct.add(0, 0.0, ace=True)
+        assert acct.total_ace() == 0.0
+
+    def test_interval(self):
+        acct = VulnerabilityAccount("x", capacity=10)
+        acct.add_interval(1, 10, 25, ace=True)
+        assert acct.total_ace() == 15.0
+
+    def test_interval_empty_or_reversed(self):
+        acct = VulnerabilityAccount("x", capacity=10)
+        acct.add_interval(1, 25, 10, ace=True)
+        acct.add_interval(1, 10, 10, ace=True)
+        assert acct.total_ace() == 0.0
+
+    def test_interval_fraction(self):
+        acct = VulnerabilityAccount("x", capacity=10)
+        acct.add_interval(0, 0, 10, ace=True, fraction=0.5)
+        assert acct.total_ace() == 5.0
+
+    def test_window_clipping(self):
+        acct = VulnerabilityAccount("x", capacity=10)
+        acct.reset(100)
+        acct.add_interval(0, 50, 150, ace=True)   # only [100,150) counts
+        assert acct.total_ace() == 50.0
+
+    def test_reset_clears(self):
+        acct = VulnerabilityAccount("x", capacity=10)
+        acct.add(0, 5.0, ace=True)
+        acct.reset(10)
+        assert acct.total_ace() == 0.0
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(StructureError):
+            VulnerabilityAccount("x", 0)
+
+
+class TestReduction:
+    def test_avf_formula(self):
+        acct = VulnerabilityAccount("x", capacity=4)
+        acct.add(0, 100.0, ace=True)
+        # 100 ACE entry-cycles / (4 entries x 100 cycles) = 0.25
+        assert acct.avf(100) == pytest.approx(0.25)
+
+    def test_avf_clamped_to_one(self):
+        acct = VulnerabilityAccount("x", capacity=1)
+        acct.add(0, 500.0, ace=True)
+        assert acct.avf(100) == 1.0
+
+    def test_avf_zero_cycles(self):
+        acct = VulnerabilityAccount("x", capacity=1)
+        assert acct.avf(0) == 0.0
+
+    def test_thread_contributions_sum_to_total(self):
+        acct = VulnerabilityAccount("x", capacity=10)
+        acct.add(0, 30.0, ace=True)
+        acct.add(1, 20.0, ace=True)
+        acct.add(2, 10.0, ace=True)
+        total = acct.avf(100)
+        parts = sum(acct.thread_avf(t, 100) for t in (0, 1, 2))
+        assert parts == pytest.approx(total)
+
+    def test_utilization_includes_unace(self):
+        acct = VulnerabilityAccount("x", capacity=10)
+        acct.add(0, 30.0, ace=True)
+        acct.add(0, 30.0, ace=False)
+        assert acct.utilization(100) == pytest.approx(0.06)
+        assert acct.avf(100) == pytest.approx(0.03)
+
+    def test_threads_enumeration_skips_no_thread(self):
+        acct = VulnerabilityAccount("x", capacity=10)
+        acct.add(NO_THREAD, 5.0, ace=False)
+        acct.add(2, 5.0, ace=True)
+        acct.add(0, 5.0, ace=False)
+        assert list(acct.threads()) == [0, 2]

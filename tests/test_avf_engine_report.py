@@ -1,0 +1,136 @@
+"""AvfEngine wiring and AvfReport reduction."""
+
+import pytest
+
+from repro.avf.bits import entry_bits, structure_bits, structure_capacity
+from repro.avf.engine import AvfEngine
+from repro.avf.structures import (
+    PRIVATE_STRUCTURES,
+    SHARED_STRUCTURES,
+    Structure,
+)
+from repro.config import MachineConfig
+from repro.errors import StructureError
+
+
+@pytest.fixture
+def engine():
+    return AvfEngine(MachineConfig(), num_threads=4)
+
+
+class TestAccounts:
+    def test_every_structure_classified(self):
+        assert SHARED_STRUCTURES | PRIVATE_STRUCTURES == set(Structure)
+        assert not SHARED_STRUCTURES & PRIVATE_STRUCTURES
+
+    def test_shared_account_is_singleton(self, engine):
+        a = engine.account(Structure.IQ)
+        b = engine.account(Structure.IQ, thread_id=3)
+        assert a is b
+
+    def test_private_account_needs_thread(self, engine):
+        with pytest.raises(StructureError):
+            engine.account(Structure.ROB)
+
+    def test_private_accounts_per_thread(self, engine):
+        a = engine.account(Structure.ROB, 0)
+        b = engine.account(Structure.ROB, 1)
+        assert a is not b
+
+    def test_capacities_match_machine(self, engine):
+        cfg = MachineConfig()
+        assert engine.account(Structure.IQ).capacity == cfg.iq_entries
+        assert engine.account(Structure.ROB, 0).capacity == cfg.rob_entries
+        assert engine.account(Structure.LSQ_TAG, 0).capacity == cfg.lsq_entries
+        assert engine.account(Structure.FU).capacity == 28
+        assert engine.account(Structure.DL1_TAG).capacity == cfg.dl1.num_lines
+        assert (engine.account(Structure.DL1_DATA).capacity
+                == cfg.dl1.num_lines * 8)
+
+
+class TestRegLifetimeRules:
+    def test_squashed_register_all_unace(self, engine):
+        engine.reg_lifetime(0, alloc=10, written=-1, last_read=-1, freed=50,
+                            ace=True)
+        acct = engine.account(Structure.REG)
+        assert acct.total_ace() == 0.0
+        assert acct.total_unace() == pytest.approx(40.0)
+
+    def test_three_phase_lifetime(self, engine):
+        engine.reg_lifetime(1, alloc=0, written=10, last_read=30, freed=50,
+                            ace=True)
+        acct = engine.account(Structure.REG)
+        assert acct.ace_cycles[1] == pytest.approx(20.0)
+        assert acct.unace_cycles[1] == pytest.approx(30.0)
+
+    def test_non_ace_value_all_unace(self, engine):
+        engine.reg_lifetime(1, alloc=0, written=10, last_read=30, freed=50,
+                            ace=False)
+        acct = engine.account(Structure.REG)
+        assert acct.total_ace() == 0.0
+        assert acct.total_unace() == pytest.approx(50.0)
+
+
+class TestReport:
+    def test_shared_thread_contributions_sum(self, engine):
+        acct = engine.account(Structure.IQ)
+        acct.add(0, 100.0, ace=True)
+        acct.add(1, 50.0, ace=True)
+        report = engine.report(cycles=1000)
+        total = report.avf[Structure.IQ]
+        parts = sum(report.thread_avf[Structure.IQ].values())
+        assert parts == pytest.approx(total)
+
+    def test_private_structure_avf_is_mean(self, engine):
+        engine.account(Structure.ROB, 0).add(0, 960.0, ace=True)   # AVF 0.01 over 1000c
+        engine.account(Structure.ROB, 1).add(1, 2880.0, ace=True)  # AVF 0.03
+        report = engine.report(cycles=1000)
+        assert report.avf[Structure.ROB] == pytest.approx((0.01 + 0.03 + 0 + 0) / 4)
+
+    def test_avf_in_unit_range(self, engine):
+        engine.account(Structure.IQ).add(0, 1e9, ace=True)
+        report = engine.report(cycles=10)
+        for s in Structure:
+            assert 0.0 <= report.avf[s] <= 1.0
+
+    def test_reset_zeroes_everything(self, engine):
+        engine.account(Structure.IQ).add(0, 100.0, ace=True)
+        engine.account(Structure.ROB, 0).add(0, 100.0, ace=True)
+        engine.reset(500)
+        report = engine.report(cycles=1000)
+        assert report.avf[Structure.IQ] == 0.0
+        assert report.avf[Structure.ROB] == 0.0
+
+    def test_processor_avf_is_bit_weighted(self, engine):
+        engine.account(Structure.IQ).add(0, 96_000.0, ace=True)  # IQ AVF=1 over 1000c
+        report = engine.report(cycles=1000)
+        expected = report.bits[Structure.IQ] / sum(report.bits.values())
+        assert report.processor_avf() == pytest.approx(expected)
+
+    def test_format_table_mentions_all_structures(self, engine):
+        text = engine.report(cycles=100).format_table("title")
+        for s in Structure:
+            assert s.value in text
+
+
+class TestBits:
+    def test_structure_bits_scale_private_by_threads(self):
+        cfg = MachineConfig()
+        assert (structure_bits(Structure.ROB, cfg, 4)
+                == 4 * structure_bits(Structure.ROB, cfg, 1))
+        assert (structure_bits(Structure.IQ, cfg, 4)
+                == structure_bits(Structure.IQ, cfg, 1))
+
+    def test_reg_capacity_includes_architectural_backing(self):
+        cfg = MachineConfig()
+        assert structure_capacity(Structure.REG, cfg, 4) == 160 + 160 + 64 * 4
+
+    def test_dl1_data_bits_equal_cache_size(self):
+        cfg = MachineConfig()
+        bits = structure_bits(Structure.DL1_DATA, cfg, 1)
+        assert bits == cfg.dl1.size_bytes * 8
+
+    def test_entry_bits_positive(self):
+        cfg = MachineConfig()
+        for s in Structure:
+            assert entry_bits(s, cfg) > 0

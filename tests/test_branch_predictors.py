@@ -1,0 +1,190 @@
+"""Branch prediction: gshare, BTB, RAS, and the combined unit."""
+
+import pytest
+
+from repro.branch.btb import BranchTargetBuffer
+from repro.branch.gshare import GsharePredictor
+from repro.branch.ras import ReturnAddressStack
+from repro.branch.unit import BranchPrediction, BranchUnit
+from repro.config import BranchConfig
+from repro.errors import ConfigError
+from repro.isa.instruction import DynInstr
+from repro.isa.opcodes import OpClass
+
+
+class TestGshare:
+    def test_learns_always_taken(self):
+        g = GsharePredictor(256, 8)
+        pc = 0x400
+        for _ in range(50):
+            taken, ckpt = g.predict(pc)
+            g.resolve(pc, True, taken, ckpt)
+        taken, _ = g.predict(pc)
+        assert taken
+
+    def test_learns_never_taken(self):
+        g = GsharePredictor(256, 8)
+        pc = 0x400
+        for _ in range(50):
+            taken, ckpt = g.predict(pc)
+            g.resolve(pc, False, taken, ckpt)
+        taken, _ = g.predict(pc)
+        assert not taken
+
+    def test_learns_loop_pattern(self):
+        """Taken 3x then not-taken once: history-based prediction nails it."""
+        g = GsharePredictor(2048, 10)
+        pc = 0x400
+        correct = total = 0
+        for i in range(400):
+            outcome = (i % 4) != 3
+            taken, ckpt = g.predict(pc)
+            if i >= 100:
+                total += 1
+                correct += taken == outcome
+            g.resolve(pc, outcome, taken, ckpt)
+        assert correct / total > 0.95
+
+    def test_history_repair_on_mispredict(self):
+        g = GsharePredictor(256, 8)
+        taken, ckpt = g.predict(0x100)
+        # Pretend actual differed from prediction.
+        g.resolve(0x100, not taken, taken, ckpt)
+        expected = ((ckpt << 1) | int(not taken)) & 0xFF
+        assert g.history == expected
+
+    def test_accuracy_counter(self):
+        g = GsharePredictor(256, 8)
+        for _ in range(10):
+            taken, ckpt = g.predict(0x100)
+            g.resolve(0x100, True, taken, ckpt)
+        assert 0.0 <= g.accuracy <= 1.0
+        assert g.lookups == 10
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ConfigError):
+            GsharePredictor(1000, 8)
+
+
+class TestBtb:
+    def test_miss_then_hit(self):
+        btb = BranchTargetBuffer(64, 4)
+        assert btb.lookup(0x400) is None
+        btb.update(0x400, 0x1234)
+        assert btb.lookup(0x400) == 0x1234
+
+    def test_update_overwrites(self):
+        btb = BranchTargetBuffer(64, 4)
+        btb.update(0x400, 0x1)
+        btb.update(0x400, 0x2)
+        assert btb.lookup(0x400) == 0x2
+
+    def test_lru_eviction(self):
+        btb = BranchTargetBuffer(4, 2)  # 2 sets x 2 ways
+        # Three PCs mapping to the same set: pcs differing by 8 * 2 sets.
+        pcs = [0x0, 0x10, 0x20]
+        for pc in pcs:
+            btb.update(pc, pc + 1)
+        hits = [btb.lookup(pc) is not None for pc in pcs]
+        assert hits.count(True) <= 2
+        assert btb.lookup(pcs[-1]) is not None  # most recent survives
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ConfigError):
+            BranchTargetBuffer(10, 4)
+
+
+class TestRas:
+    def test_push_pop_lifo(self):
+        ras = ReturnAddressStack(8)
+        ras.push(0x100)
+        ras.push(0x200)
+        assert ras.pop() == 0x200
+        assert ras.pop() == 0x100
+
+    def test_underflow_returns_none(self):
+        ras = ReturnAddressStack(8)
+        assert ras.pop() is None
+        assert ras.underflows == 1
+
+    def test_overflow_drops_oldest(self):
+        ras = ReturnAddressStack(2)
+        ras.push(1)
+        ras.push(2)
+        ras.push(3)
+        assert ras.overflows == 1
+        assert ras.pop() == 3
+        assert ras.pop() == 2
+        assert ras.pop() is None
+
+    def test_snapshot_restore(self):
+        ras = ReturnAddressStack(8)
+        ras.push(1)
+        snap = ras.snapshot()
+        ras.push(2)
+        ras.pop()
+        ras.pop()
+        ras.restore(snap)
+        assert ras.pop() == 1
+
+
+def _branch(pc, taken, target, thread=0, seq=0):
+    return DynInstr(thread, seq, pc, OpClass.BRANCH, src_regs=(1,),
+                    taken=taken, target=target)
+
+
+class TestBranchUnit:
+    def test_correct_prediction_after_training(self):
+        unit = BranchUnit(BranchConfig())
+        b = _branch(0x400, True, 0x800)
+        for _ in range(20):
+            pred = unit.predict(b)
+            unit.resolve(b, pred)
+        pred = unit.predict(b)
+        assert not pred.mispredicts(b)
+        unit.resolve(b, pred)
+
+    def test_cold_taken_branch_mispredicts_on_target(self):
+        unit = BranchUnit(BranchConfig())
+        b = _branch(0x400, True, 0x800)
+        pred = unit.predict(b)
+        # Even if direction guessed taken, the BTB is cold: no target.
+        if pred.taken:
+            assert pred.target is None
+        assert pred.mispredicts(b)
+
+    def test_call_return_pairs_use_ras(self):
+        unit = BranchUnit(BranchConfig())
+        call = DynInstr(0, 0, 0x100, OpClass.CALL, taken=True, target=0x1000)
+        unit.btb.update(0x100, 0x1000)  # warm target
+        pred = unit.predict(call)
+        assert pred.taken and pred.target == 0x1000
+        unit.resolve(call, pred)
+        ret = DynInstr(0, 1, 0x1000, OpClass.RET, taken=True, target=0x104)
+        pred = unit.predict(ret)
+        assert pred.target == 0x104  # return address = call PC + 4
+        assert not pred.mispredicts(ret)
+
+    def test_misprediction_rate_tracking(self):
+        unit = BranchUnit(BranchConfig())
+        b = _branch(0x40, True, 0x80)
+        pred = unit.predict(b)
+        unit.resolve(b, pred)
+        assert unit.predictions == 1
+        assert 0.0 <= unit.misprediction_rate <= 1.0
+
+    def test_prediction_mispredicts_semantics(self):
+        p = BranchPrediction(taken=True, target=0x80, history_checkpoint=0,
+                             ras_snapshot=None)
+        hit = _branch(0x40, True, 0x80)
+        wrong_dir = _branch(0x40, False, 0x80)
+        wrong_target = _branch(0x40, True, 0x84)
+        assert not p.mispredicts(hit)
+        assert p.mispredicts(wrong_dir)
+        assert p.mispredicts(wrong_target)
+
+    def test_not_taken_prediction_ignores_target(self):
+        p = BranchPrediction(taken=False, target=None, history_checkpoint=0,
+                             ras_snapshot=None)
+        nt = _branch(0x40, False, 0x80)
+        assert not p.mispredicts(nt)

@@ -1,0 +1,142 @@
+"""ACE classification of the DL1 (data/tag) and DTLB observers."""
+
+import pytest
+
+from repro.avf.account import VulnerabilityAccount
+from repro.avf.cache_avf import Dl1AvfObserver, DtlbAvfObserver, _union_length
+from repro.memory.cache import CacheLine
+from repro.memory.tlb import TlbEntry
+
+
+@pytest.fixture
+def accounts():
+    data = VulnerabilityAccount("dl1_data", capacity=8)
+    tag = VulnerabilityAccount("dl1_tag", capacity=1)
+    return data, tag
+
+
+@pytest.fixture
+def observer(accounts):
+    return Dl1AvfObserver(*accounts)
+
+
+def _line(fill=100, words=8, thread=0):
+    return CacheLine(tag=1, set_index=0, thread_id=thread, fill_cycle=fill,
+                     words=words)
+
+
+class TestUnionLength:
+    def test_disjoint(self):
+        assert _union_length(0, 10, 20, 30) == 20
+
+    def test_overlapping(self):
+        assert _union_length(0, 10, 5, 15) == 15
+
+    def test_contained(self):
+        assert _union_length(0, 20, 5, 10) == 20
+
+    def test_empty_intervals(self):
+        assert _union_length(0, 0, 5, 10) == 5
+        assert _union_length(5, 10, 0, 0) == 5
+        assert _union_length(0, 0, 0, 0) == 0
+
+
+class TestDl1Data:
+    def test_never_read_clean_word_is_unace(self, observer, accounts):
+        data, _ = accounts
+        line = _line(fill=100)
+        observer.on_evict(line, 200)
+        assert data.total_ace() == 0.0
+        assert data.total_unace() == pytest.approx(8 * 100.0)
+
+    def test_read_word_ace_until_last_read(self, observer, accounts):
+        data, _ = accounts
+        line = _line(fill=100)
+        line.word_last_read[2] = 150
+        observer.on_evict(line, 200)
+        assert data.ace_cycles[0] == pytest.approx(50.0)   # [100, 150)
+        assert data.total_unace() == pytest.approx(800.0 - 50.0)
+
+    def test_dirty_word_ace_until_eviction(self, observer, accounts):
+        data, _ = accounts
+        line = _line(fill=100)
+        line.word_last_write[3] = 120
+        line.word_dirty[3] = True
+        observer.on_evict(line, 200)
+        assert data.ace_cycles[0] == pytest.approx(80.0)   # [120, 200)
+
+    def test_read_then_dirty_union(self, observer, accounts):
+        data, _ = accounts
+        line = _line(fill=100)
+        line.word_last_read[0] = 130
+        line.word_last_write[0] = 160
+        line.word_dirty[0] = True
+        observer.on_evict(line, 200)
+        # [100,130) read window + [160,200) writeback window = 70.
+        assert data.ace_cycles[0] == pytest.approx(70.0)
+
+    def test_zero_residency_ignored(self, observer, accounts):
+        data, tag = accounts
+        observer.on_evict(_line(fill=100), 100)
+        assert data.total_ace() + data.total_unace() == 0.0
+        assert tag.total_ace() + tag.total_unace() == 0.0
+
+    def test_ace_bounded_by_residency(self, observer, accounts):
+        data, _ = accounts
+        line = _line(fill=100)
+        line.word_last_read[0] = 500  # inconsistent timestamp beyond eviction
+        observer.on_evict(line, 200)
+        assert data.ace_cycles[0] <= 100.0
+
+
+class TestDl1Tag:
+    def test_clean_unaccessed_tag_unace(self, observer, accounts):
+        _, tag = accounts
+        observer.on_evict(_line(fill=100), 200)
+        assert tag.total_ace() == 0.0
+        assert tag.total_unace() == pytest.approx(100.0)
+
+    def test_clean_reaccessed_tag_ace_to_last_access(self, observer, accounts):
+        _, tag = accounts
+        line = _line(fill=100)
+        line.last_access_cycle = 170
+        observer.on_evict(line, 200)
+        assert tag.ace_cycles[0] == pytest.approx(70.0)
+
+    def test_dirty_tag_ace_whole_residency(self, observer, accounts):
+        _, tag = accounts
+        line = _line(fill=100)
+        line.word_dirty[0] = True
+        line.word_last_write[0] = 110
+        observer.on_evict(line, 200)
+        assert tag.ace_cycles[0] == pytest.approx(100.0)
+
+    def test_tag_avf_exceeds_data_avf_for_sparse_use(self, observer, accounts):
+        """One word read late: the tag is exposed longer than the data."""
+        data, tag = accounts
+        line = _line(fill=0)
+        line.word_last_read[0] = 90
+        line.last_access_cycle = 90
+        observer.on_evict(line, 100)
+        assert tag.avf(100) > data.avf(100)
+
+
+class TestDtlb:
+    def test_single_use_entry_unace(self):
+        acct = VulnerabilityAccount("dtlb", capacity=1)
+        obs = DtlbAvfObserver(acct)
+        entry = TlbEntry(vpn=5, thread_id=1, fill_cycle=10)
+        entry.uses = 1
+        obs.on_evict(entry, 60)
+        assert acct.total_ace() == 0.0
+        assert acct.total_unace() == pytest.approx(50.0)
+
+    def test_reused_entry_ace_until_last_use(self):
+        acct = VulnerabilityAccount("dtlb", capacity=1)
+        obs = DtlbAvfObserver(acct)
+        entry = TlbEntry(vpn=5, thread_id=1, fill_cycle=10)
+        entry.uses = 3
+        entry.last_use_cycle = 40
+        obs.on_evict(entry, 60)
+        assert acct.ace_cycles[1] == pytest.approx(30.0)
+        assert acct.unace_cycles[1] == pytest.approx(20.0)

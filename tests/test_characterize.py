@@ -1,0 +1,76 @@
+"""Section 3 classification procedure: measured vs declared categories."""
+
+import pytest
+
+from repro.workload.characterize import (
+    ProgramCharacter,
+    characterize,
+    characterize_all,
+    format_characterization,
+)
+from repro.workload.spec2000 import Category
+
+
+class TestCharacterize:
+    @pytest.fixture(scope="class")
+    def mcf(self):
+        return characterize("mcf", instructions=1200)
+
+    @pytest.fixture(scope="class")
+    def eon(self):
+        return characterize("eon", instructions=1200)
+
+    def test_mcf_is_memory_bound(self, mcf):
+        assert mcf.measured_category is Category.MEM
+        assert mcf.dl1_miss_rate > 0.2
+        assert mcf.ipc < 0.5
+
+    def test_eon_is_cpu_bound(self, eon):
+        assert eon.measured_category is Category.CPU
+        assert eon.dl1_miss_rate < 0.05
+        assert eon.ipc > 2.0
+
+    def test_agreement_flags(self, mcf, eon):
+        assert mcf.classification_agrees
+        assert eon.classification_agrees
+
+    def test_branch_mispredict_rate_realistic(self, mcf, eon):
+        for c in (mcf, eon):
+            assert 0.0 <= c.branch_mispredict_rate < 0.35
+
+    def test_character_is_frozen(self, mcf):
+        with pytest.raises(AttributeError):
+            mcf.ipc = 1.0
+
+
+class TestMeasuredCategoryRule:
+    def _char(self, ipc, dl1, l2mpi):
+        return ProgramCharacter("x", ipc, dl1, l2mpi, 0.05, Category.CPU)
+
+    def test_l2_traffic_dominates(self):
+        assert self._char(3.0, 0.05, 0.05).measured_category is Category.MEM
+
+    def test_high_dl1_low_ipc_is_mem(self):
+        assert self._char(0.5, 0.3, 0.0).measured_category is Category.MEM
+
+    def test_high_dl1_high_ipc_is_cpu(self):
+        # A streaming-but-fast program is not memory *bound*.
+        assert self._char(3.0, 0.2, 0.0).measured_category is Category.CPU
+
+    def test_clean_cpu(self):
+        assert self._char(3.0, 0.01, 0.0).measured_category is Category.CPU
+
+
+class TestAllPrograms:
+    @pytest.mark.slow
+    def test_every_model_matches_its_declared_category(self):
+        chars = characterize_all(instructions=1500)
+        disagreements = [c.program for c in chars.values()
+                         if not c.classification_agrees]
+        assert not disagreements, f"misclassified models: {disagreements}"
+
+    def test_format_renders(self):
+        chars = {"mcf": characterize("mcf", instructions=800)}
+        text = format_characterization(chars)
+        assert "mcf" in text
+        assert "measured" in text

@@ -1,0 +1,71 @@
+"""Command-line interface tests."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestList:
+    def test_lists_everything(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "4-MEM-A" in out
+        assert "ICOUNT" in out
+        assert "FLUSHP" in out
+        assert "mcf" in out
+
+
+class TestRun:
+    def test_run_mix(self, capsys):
+        assert main(["run", "2-CPU-A", "-n", "400"]) == 0
+        out = capsys.readouterr().out
+        assert "2-CPU-A" in out
+        assert "IQ" in out
+
+    def test_run_program_list(self, capsys):
+        assert main(["run", "bzip2", "mcf", "-n", "300"]) == 0
+        out = capsys.readouterr().out
+        assert "bzip2+mcf" in out
+
+    def test_run_with_phase_window(self, capsys):
+        assert main(["run", "2-CPU-A", "-n", "400", "--phase-window", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "AVF phases" in out
+
+    def test_run_with_policy(self, capsys):
+        assert main(["run", "2-MEM-A", "-n", "400", "--policy", "FLUSH"]) == 0
+        assert "[FLUSH]" in capsys.readouterr().out
+
+    def test_unknown_workload_is_an_error(self, capsys):
+        assert main(["run", "not-a-workload"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestInject:
+    def test_inject_prints_summary(self, capsys):
+        assert main(["inject", "2-CPU-A", "--strikes", "500", "-n", "300"]) == 0
+        out = capsys.readouterr().out
+        assert "SDC rate" in out
+
+
+class TestFit:
+    def test_fit_prints_breakdown(self, capsys):
+        assert main(["fit", "2-CPU-A", "-n", "300"]) == 0
+        out = capsys.readouterr().out
+        assert "MTTF" in out
+        assert "hotspot" in out
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_figure_rejects_out_of_range(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "9"])
+
+    def test_figure_accepts_valid(self):
+        args = build_parser().parse_args(["figure", "3", "--scale", "500"])
+        assert args.number == 3
+        assert args.scale == 500

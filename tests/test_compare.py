@@ -1,0 +1,58 @@
+"""Design-point comparison utility."""
+
+import pytest
+
+from repro.avf.structures import Structure
+from repro.config import SimConfig
+from repro.errors import ReproError
+from repro.sim.compare import StructureDelta, compare_results
+from repro.sim.simulator import simulate
+from repro.workload.mixes import get_mix
+
+
+@pytest.fixture(scope="module")
+def pair():
+    sim = SimConfig(max_instructions=1200)
+    base = simulate(get_mix("2-MEM-A"), policy="ICOUNT", sim=sim)
+    cand = simulate(get_mix("2-MEM-A"), policy="FLUSH", sim=sim)
+    return base, cand
+
+
+class TestStructureDelta:
+    def test_absolute_and_relative(self):
+        d = StructureDelta(Structure.IQ, baseline_avf=0.4, candidate_avf=0.3)
+        assert d.absolute == pytest.approx(-0.1)
+        assert d.relative == pytest.approx(-0.25)
+
+    def test_zero_baseline(self):
+        d = StructureDelta(Structure.IQ, 0.0, 0.1)
+        assert d.relative == float("inf")
+        assert StructureDelta(Structure.IQ, 0.0, 0.0).relative == 0.0
+
+
+class TestCompareResults:
+    def test_all_structures_present(self, pair):
+        comp = compare_results(*pair)
+        assert set(comp.deltas) == set(Structure)
+
+    def test_flush_improves_iq_tradeoff_on_mem(self, pair):
+        comp = compare_results(*pair)
+        assert comp.improved(Structure.IQ)
+        assert comp.deltas[Structure.IQ].absolute < 0
+
+    def test_rejects_different_workloads(self, pair):
+        other = simulate(get_mix("2-CPU-A"),
+                         sim=SimConfig(max_instructions=300))
+        with pytest.raises(ReproError):
+            compare_results(pair[0], other)
+
+    def test_summary_renders(self, pair):
+        text = compare_results(*pair).summary()
+        assert "FLUSH" in text and "ICOUNT" in text
+        assert "eff ratio" in text
+
+    def test_self_comparison_is_neutral(self, pair):
+        comp = compare_results(pair[0], pair[0])
+        assert comp.ipc_gain == pytest.approx(0.0)
+        for s in Structure:
+            assert comp.deltas[s].absolute == 0.0

@@ -1,0 +1,140 @@
+"""Machine configuration: Table 1 values and validation."""
+
+import pytest
+
+from repro.config import (
+    CacheConfig,
+    MachineConfig,
+    SimConfig,
+    TlbConfig,
+    scaled_instruction_budget,
+)
+from repro.errors import ConfigError
+
+
+class TestTable1Defaults:
+    """The default MachineConfig must reproduce Table 1 of the paper."""
+
+    def test_width(self, config):
+        assert config.fetch_width == 8
+        assert config.issue_width == 8
+        assert config.commit_width == 8
+
+    def test_pipeline_depth(self, config):
+        assert config.pipeline_depth == 7
+
+    def test_issue_queue(self, config):
+        assert config.iq_entries == 96
+
+    def test_rob_per_thread(self, config):
+        assert config.rob_entries == 96
+
+    def test_lsq_per_thread(self, config):
+        assert config.lsq_entries == 48
+
+    def test_itlb(self, config):
+        assert config.itlb.entries == 128
+        assert config.itlb.assoc == 4
+        assert config.itlb.miss_latency == 200
+
+    def test_dtlb(self, config):
+        assert config.dtlb.entries == 256
+        assert config.dtlb.assoc == 4
+        assert config.dtlb.miss_latency == 200
+
+    def test_l1i(self, config):
+        assert config.il1.size_bytes == 32 * 1024
+        assert config.il1.assoc == 2
+        assert config.il1.line_bytes == 32
+        assert config.il1.hit_latency == 1
+
+    def test_l1d(self, config):
+        assert config.dl1.size_bytes == 64 * 1024
+        assert config.dl1.assoc == 4
+        assert config.dl1.line_bytes == 64
+        assert config.dl1.ports == 2
+        assert config.dl1.hit_latency == 1
+
+    def test_l2(self, config):
+        assert config.l2.size_bytes == 2 * 1024 * 1024
+        assert config.l2.assoc == 4
+        assert config.l2.line_bytes == 128
+        assert config.l2.hit_latency == 12
+
+    def test_memory_latency(self, config):
+        assert config.memory_latency == 200
+
+    def test_fu_counts(self, config):
+        assert config.int_alus == 8
+        assert config.int_mult_div == 4
+        assert config.load_store_units == 4
+        assert config.fp_alus == 8
+        assert config.fp_mult_div == 4
+
+    def test_branch_resources(self, config):
+        assert config.branch.gshare_entries == 2048
+        assert config.branch.history_bits == 10
+        assert config.branch.btb_entries == 2048
+        assert config.branch.btb_assoc == 4
+        assert config.branch.ras_entries == 32
+
+
+class TestValidation:
+    def test_cache_size_not_divisible(self):
+        with pytest.raises(ConfigError):
+            CacheConfig("bad", 1000, 3, 64, hit_latency=1)
+
+    def test_cache_nonpositive(self):
+        with pytest.raises(ConfigError):
+            CacheConfig("bad", 0, 1, 64, hit_latency=1)
+
+    def test_cache_sets_power_of_two(self):
+        with pytest.raises(ConfigError):
+            CacheConfig("bad", 3 * 64 * 2, 2, 64, hit_latency=1)
+
+    def test_tlb_entries_not_divisible(self):
+        with pytest.raises(ConfigError):
+            TlbConfig("bad", 10, 4, miss_latency=10)
+
+    def test_machine_rejects_zero_width(self):
+        with pytest.raises(ConfigError):
+            MachineConfig(fetch_width=0)
+
+    def test_machine_rejects_zero_decode_latency(self):
+        with pytest.raises(ConfigError):
+            MachineConfig(decode_latency=0)
+
+    def test_sim_rejects_zero_budget(self):
+        with pytest.raises(ConfigError):
+            SimConfig(max_instructions=0)
+
+    def test_sim_rejects_negative_warmup(self):
+        with pytest.raises(ConfigError):
+            SimConfig(warmup_instructions=-1)
+
+    def test_with_overrides_returns_new_config(self, config):
+        other = config.with_overrides(iq_entries=32)
+        assert other.iq_entries == 32
+        assert config.iq_entries == 96
+
+
+class TestScaledBudget:
+    """The paper's 50M/100M/200M scheme scales 25M per context."""
+
+    def test_proportionality(self):
+        b2 = scaled_instruction_budget(2, base_per_2_threads=10_000)
+        b4 = scaled_instruction_budget(4, base_per_2_threads=10_000)
+        b8 = scaled_instruction_budget(8, base_per_2_threads=10_000)
+        assert (b2, b4, b8) == (10_000, 20_000, 40_000)
+
+    def test_rejects_zero_threads(self):
+        with pytest.raises(ConfigError):
+            scaled_instruction_budget(0)
+
+
+class TestCacheGeometry:
+    def test_num_sets(self, config):
+        assert config.dl1.num_sets == 64 * 1024 // (4 * 64)
+
+    def test_num_lines(self, config):
+        assert config.dl1.num_lines == 64 * 1024 // 64

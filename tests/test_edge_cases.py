@@ -1,0 +1,93 @@
+"""Edge cases across modules: tiny traces, single-entry structures, errors."""
+
+import pytest
+
+from repro.avf.structures import Structure
+from repro.config import MachineConfig, SimConfig
+from repro.errors import (
+    ConfigError,
+    ReproError,
+    SimulationError,
+    StructureError,
+    WorkloadError,
+)
+from repro.sim.simulator import simulate
+from repro.workload.generator import generate_trace
+from repro.workload.spec2000 import get_profile
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc in (ConfigError, WorkloadError, StructureError, SimulationError):
+            assert issubclass(exc, ReproError)
+
+    def test_catchable_as_base(self):
+        with pytest.raises(ReproError):
+            raise ConfigError("x")
+
+
+class TestTinyRuns:
+    def test_one_instruction_budget(self):
+        result = simulate(["gcc"], sim=SimConfig(max_instructions=1))
+        assert result.committed >= 1
+        for s in Structure:
+            assert 0.0 <= result.avf.avf[s] <= 1.0
+
+    def test_single_instruction_trace(self):
+        trace = generate_trace(get_profile("gcc"), 0, 1, seed=1)
+        assert len(trace) == 1
+
+    def test_trace_shorter_than_budget_finishes(self):
+        """If all traces exhaust before the budget, the run ends cleanly."""
+        from repro.sim.simulator import build_traces
+
+        sim = SimConfig(max_instructions=10_000)
+        short = [generate_trace(get_profile("gcc"), 0, 50, seed=1),
+                 generate_trace(get_profile("mesa"), 1, 50, seed=1)]
+        result = simulate(["gcc", "mesa"], sim=sim, traces=short)
+        assert result.committed == 100
+
+    def test_max_cycles_guard_raises(self):
+        with pytest.raises(SimulationError):
+            simulate(get_mix_like(), sim=SimConfig(max_instructions=5000,
+                                                   max_cycles=10))
+
+
+def get_mix_like():
+    from repro.workload.mixes import get_mix
+
+    return get_mix("2-MEM-A")
+
+
+class TestDegenerateMachines:
+    def test_single_entry_queues(self):
+        config = MachineConfig(iq_entries=2, rob_entries=2, lsq_entries=2,
+                               fetch_width=2, issue_width=2, commit_width=2)
+        result = simulate(["gcc"], config=config,
+                          sim=SimConfig(max_instructions=150,
+                                        max_cycles=2_000_000))
+        assert result.committed >= 150
+
+    def test_minimal_register_pool(self):
+        config = MachineConfig(int_phys_regs=8, fp_phys_regs=8)
+        result = simulate(["gcc", "mesa"], config=config,
+                          sim=SimConfig(max_instructions=200,
+                                        max_cycles=2_000_000))
+        assert result.committed >= 200
+
+    def test_no_fp_units_config_rejected_ops_still_flow(self):
+        # FP units exist in every config (Table 1); integer-only programs
+        # simply never use them.
+        result = simulate(["gcc"], sim=SimConfig(max_instructions=200))
+        assert result.committed >= 200
+
+
+class TestSeedSensitivity:
+    def test_avf_not_degenerate_across_seeds(self):
+        values = []
+        for seed in (1, 2, 3):
+            r = simulate(["twolf"], sim=SimConfig(max_instructions=400,
+                                                  seed=seed))
+            values.append(r.avf.avf[Structure.IQ])
+        assert all(0.0 < v < 1.0 for v in values)
+        assert max(values) - min(values) < 0.5  # same behavioural class

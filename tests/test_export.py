@@ -1,0 +1,73 @@
+"""JSON/CSV result exporters."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.avf.structures import Structure
+from repro.config import SimConfig
+from repro.sim.export import (
+    CSV_COLUMNS,
+    SCHEMA_VERSION,
+    result_to_dict,
+    result_to_json,
+    results_to_csv,
+)
+from repro.sim.simulator import simulate
+from repro.workload.mixes import get_mix
+
+
+@pytest.fixture(scope="module")
+def result():
+    return simulate(get_mix("2-CPU-A"), sim=SimConfig(max_instructions=400))
+
+
+class TestJson:
+    def test_round_trips_through_json(self, result):
+        doc = json.loads(result_to_json(result))
+        assert doc["schema_version"] == SCHEMA_VERSION
+        assert doc["workload"] == "2-CPU-A"
+        assert doc["policy"] == "ICOUNT"
+        assert doc["ipc"] == pytest.approx(result.ipc)
+
+    def test_all_structures_present(self, result):
+        doc = result_to_dict(result)
+        for s in Structure:
+            assert s.value in doc["avf"]
+            assert 0.0 <= doc["avf"][s.value] <= 1.0
+
+    def test_thread_breakdown(self, result):
+        doc = result_to_dict(result)
+        assert len(doc["threads"]) == 2
+        assert doc["threads"][0]["program"] == "bzip2"
+        assert {t["thread_id"] for t in doc["threads"]} == {0, 1}
+
+    def test_thread_avf_keys_are_strings(self, result):
+        doc = json.loads(result_to_json(result))
+        assert set(doc["thread_avf"]["IQ"]) == {"0", "1"}
+
+    def test_processor_avf_matches_report(self, result):
+        doc = result_to_dict(result)
+        assert doc["processor_avf"] == pytest.approx(result.avf.processor_avf())
+
+
+class TestCsv:
+    def test_header_and_rows(self, result):
+        text = results_to_csv([result, result])
+        rows = list(csv.DictReader(io.StringIO(text)))
+        assert len(rows) == 2
+        assert set(rows[0]) == set(CSV_COLUMNS)
+
+    def test_values_parse_back(self, result):
+        text = results_to_csv([result])
+        row = next(csv.DictReader(io.StringIO(text)))
+        assert float(row["ipc"]) == pytest.approx(result.ipc)
+        assert int(row["cycles"]) == result.cycles
+        assert float(row["avf_IQ"]) == pytest.approx(result.avf.avf[Structure.IQ])
+
+    def test_empty_input(self):
+        text = results_to_csv([])
+        rows = list(csv.DictReader(io.StringIO(text)))
+        assert rows == []

@@ -1,0 +1,89 @@
+"""Fault-injection campaign: AVF cross-validation and plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.avf.account import VulnerabilityAccount
+from repro.avf.structures import Structure
+from repro.config import SimConfig
+from repro.errors import ReproError
+from repro.faultinject import InjectionOutcome, run_campaign
+from repro.faultinject.campaign import _occupancy_timelines
+from repro.workload.mixes import get_mix
+
+
+class TestTimelineReconstruction:
+    def test_single_interval(self):
+        acct = VulnerabilityAccount("x", 4, record_intervals=True)
+        acct.add_interval(0, 10, 20, ace=True)
+        ace, occ = _occupancy_timelines([acct], cycles=30)
+        assert ace[9] == 0 and ace[10] == 1 and ace[19] == 1 and ace[20] == 0
+        assert occ[15] == 1
+
+    def test_overlapping_intervals_stack(self):
+        acct = VulnerabilityAccount("x", 4, record_intervals=True)
+        acct.add_interval(0, 0, 10, ace=True)
+        acct.add_interval(1, 5, 15, ace=False)
+        ace, occ = _occupancy_timelines([acct], cycles=20)
+        assert occ[7] == 2
+        assert ace[7] == 1
+
+    def test_timeline_sum_matches_ledger(self):
+        acct = VulnerabilityAccount("x", 8, record_intervals=True)
+        rng = np.random.default_rng(3)
+        for _ in range(50):
+            start = int(rng.integers(0, 90))
+            end = start + int(rng.integers(1, 10))
+            acct.add_interval(int(rng.integers(0, 4)), start, end,
+                              ace=bool(rng.integers(0, 2)))
+        ace, occ = _occupancy_timelines([acct], cycles=100)
+        assert ace.sum() == pytest.approx(acct.total_ace())
+        assert occ.sum() == pytest.approx(acct.total_ace() + acct.total_unace())
+
+    def test_requires_recorded_intervals(self):
+        acct = VulnerabilityAccount("x", 4)  # not recording
+        with pytest.raises(ReproError):
+            _occupancy_timelines([acct], cycles=10)
+
+
+class TestCampaign:
+    @pytest.fixture(scope="class")
+    def campaign(self):
+        return run_campaign(get_mix("2-MIX-A"), injections=6000,
+                            sim=SimConfig(max_instructions=2500), seed=11)
+
+    def test_outcomes_partition_injections(self, campaign):
+        for c in campaign.structures.values():
+            assert sum(c.outcomes.values()) == c.injections
+
+    def test_sdc_rate_matches_reported_avf(self, campaign):
+        """The paper's two methodologies must agree (sampling error aside)."""
+        for s, c in campaign.structures.items():
+            assert c.sdc_rate == pytest.approx(c.reported_avf, abs=0.03), s
+
+    def test_masked_plus_sdc_is_one(self, campaign):
+        for c in campaign.structures.values():
+            assert c.masked_rate + c.sdc_rate == pytest.approx(1.0)
+
+    def test_summary_renders(self, campaign):
+        text = campaign.summary()
+        assert "SDC rate" in text
+        assert "IQ" in text
+
+    def test_rejects_cache_structures(self):
+        with pytest.raises(ReproError):
+            run_campaign(get_mix("2-CPU-A"), injections=10,
+                         structures=(Structure.DL1_DATA,),
+                         sim=SimConfig(max_instructions=200))
+
+    def test_deterministic_given_seed(self):
+        kwargs = dict(injections=500, sim=SimConfig(max_instructions=800),
+                      seed=5, structures=(Structure.IQ,))
+        a = run_campaign(get_mix("2-CPU-A"), **kwargs)
+        b = run_campaign(get_mix("2-CPU-A"), **kwargs)
+        assert (a.structures[Structure.IQ].outcomes
+                == b.structures[Structure.IQ].outcomes)
+
+    def test_idle_strikes_happen(self, campaign):
+        fu = campaign.structures[Structure.FU]
+        assert fu.outcomes.get(InjectionOutcome.MASKED_IDLE, 0) > 0

@@ -1,0 +1,190 @@
+"""Fetch policies: gating and priority logic against a stub core."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.fetch.base import FetchPolicy
+from repro.fetch.dg import DataGatingPolicy
+from repro.fetch.dwarn import DcacheWarnPolicy
+from repro.fetch.flush import FlushPolicy
+from repro.fetch.icount import IcountPolicy
+from repro.fetch.pdg import PredictiveDataGatingPolicy
+from repro.fetch.registry import POLICY_NAMES, create_policy
+from repro.fetch.stall import StallPolicy
+from repro.isa.instruction import DynInstr
+from repro.isa.opcodes import OpClass
+
+
+class StubCore:
+    """Just enough of SMTCore for policy unit tests."""
+
+    def __init__(self, threads):
+        self._threads = threads
+        self.squashes = []
+
+    def fetchable_threads(self):
+        return [t.id for t in self._threads]
+
+    def thread(self, tid):
+        return self._threads[tid]
+
+    def in_flight_count(self, tid):
+        return self._threads[tid].in_flight
+
+    def squash_after(self, instr):
+        self.squashes.append(instr)
+
+
+def _thread(tid, in_flight=0, l1=0, l2=0):
+    return SimpleNamespace(id=tid, in_flight=in_flight,
+                           outstanding_l1d=l1, outstanding_l2=l2)
+
+
+def _load(tid=0, seq=0, pc=0x100):
+    i = DynInstr(tid, seq, pc, OpClass.LOAD, mem_addr=0x1000)
+    i.fetch_stamp = seq
+    return i
+
+
+class TestRegistry:
+    def test_all_names_instantiable(self):
+        for name in POLICY_NAMES:
+            policy = create_policy(name)
+            assert isinstance(policy, FetchPolicy)
+            assert policy.name == name
+
+    def test_case_insensitive(self):
+        assert create_policy("flush").name == "FLUSH"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigError):
+            create_policy("ROUND_ROBIN")
+
+
+class TestIcount:
+    def test_fewest_in_flight_first(self):
+        core = StubCore([_thread(0, 9), _thread(1, 2), _thread(2, 5)])
+        assert IcountPolicy().priorities(core) == [1, 2, 0]
+
+    def test_tie_broken_by_thread_id(self):
+        core = StubCore([_thread(0, 3), _thread(1, 3)])
+        assert IcountPolicy().priorities(core) == [0, 1]
+
+
+class TestStall:
+    def test_gates_threads_with_l2_misses(self):
+        core = StubCore([_thread(0, 1, l2=1), _thread(1, 5)])
+        assert StallPolicy().priorities(core) == [1]
+
+    def test_always_lets_one_thread_fetch(self):
+        core = StubCore([_thread(0, 7, l2=1), _thread(1, 3, l2=2)])
+        assert StallPolicy().priorities(core) == [1]  # best icount survives
+
+
+class TestFlush:
+    def test_l2_miss_triggers_squash_and_gate(self):
+        core = StubCore([_thread(0), _thread(1)])
+        policy = FlushPolicy()
+        load = _load(tid=0)
+        policy.on_l2_miss(core, load)
+        assert core.squashes == [load]
+        assert policy.priorities(core) == [1]
+        assert policy.flushes == 1
+
+    def test_single_flush_per_thread_at_a_time(self):
+        core = StubCore([_thread(0)])
+        policy = FlushPolicy()
+        policy.on_l2_miss(core, _load(seq=0))
+        policy.on_l2_miss(core, _load(seq=1))
+        assert len(core.squashes) == 1
+
+    def test_resolution_reopens_fetch(self):
+        core = StubCore([_thread(0)])
+        policy = FlushPolicy()
+        load = _load()
+        policy.on_l2_miss(core, load)
+        policy.on_load_resolved(core, load)
+        assert policy.priorities(core) == [0]
+
+    def test_wrong_path_load_ignored(self):
+        core = StubCore([_thread(0)])
+        policy = FlushPolicy()
+        load = _load()
+        load.wrong_path = True
+        policy.on_l2_miss(core, load)
+        assert not core.squashes
+
+    def test_all_threads_gated_falls_back_to_one(self):
+        core = StubCore([_thread(0, 2), _thread(1, 5)])
+        policy = FlushPolicy()
+        policy.on_l2_miss(core, _load(tid=0))
+        policy.on_l2_miss(core, _load(tid=1))
+        assert policy.priorities(core) == [0]
+
+
+class TestDg:
+    def test_gates_on_threshold(self):
+        core = StubCore([_thread(0, l1=2), _thread(1, l1=1)])
+        assert DataGatingPolicy(threshold=2).priorities(core) == [1]
+
+    def test_can_gate_everyone(self):
+        core = StubCore([_thread(0, l1=3), _thread(1, l1=4)])
+        assert DataGatingPolicy(threshold=2).priorities(core) == []
+
+
+class TestPdg:
+    def test_trains_and_gates_on_predicted_misses(self):
+        core = StubCore([_thread(0)])
+        policy = PredictiveDataGatingPolicy(threshold=2)
+        # Train the table: the load at this PC misses repeatedly.
+        trained = _load(pc=0x500)
+        trained.dl1_missed = True
+        for _ in range(3):
+            policy.on_load_resolved(core, trained)
+        # Fetch two loads at the now miss-predicted PC: thread gets gated.
+        a, b = _load(seq=10, pc=0x500), _load(seq=11, pc=0x500)
+        policy.on_fetch(core, a)
+        policy.on_fetch(core, b)
+        assert policy.priorities(core) == []
+        # Resolution releases the gate.
+        policy.on_load_resolved(core, a)
+        policy.on_load_resolved(core, b)
+        assert policy.priorities(core) == [0]
+
+    def test_squash_releases_gate(self):
+        core = StubCore([_thread(0)])
+        policy = PredictiveDataGatingPolicy(threshold=1)
+        trained = _load(pc=0x500)
+        trained.dl1_missed = True
+        for _ in range(3):
+            policy.on_load_resolved(core, trained)
+        flagged = _load(seq=20, pc=0x500)
+        policy.on_fetch(core, flagged)
+        assert policy.priorities(core) == []
+        policy.on_squash(core, flagged)
+        assert policy.priorities(core) == [0]
+
+    def test_double_fetch_not_double_counted(self):
+        core = StubCore([_thread(0)])
+        policy = PredictiveDataGatingPolicy(threshold=2)
+        trained = _load(pc=0x500)
+        trained.dl1_missed = True
+        for _ in range(3):
+            policy.on_load_resolved(core, trained)
+        same = _load(seq=30, pc=0x500)
+        policy.on_fetch(core, same)
+        policy.on_fetch(core, same)
+        assert policy.priorities(core) == [0]  # counted once: below threshold
+
+
+class TestDwarn:
+    def test_demotes_but_does_not_gate(self):
+        core = StubCore([_thread(0, 1, l1=1), _thread(1, 9)])
+        order = DcacheWarnPolicy().priorities(core)
+        assert order == [1, 0]      # missing thread demoted, still present
+
+    def test_icount_within_priority_groups(self):
+        core = StubCore([_thread(0, 5), _thread(1, 2), _thread(2, 4, l1=1)])
+        assert DcacheWarnPolicy().priorities(core) == [1, 0, 2]

@@ -1,0 +1,164 @@
+"""Trace generator: determinism, dataflow, dynamic-dead exactness."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.isa.instruction import AceClass
+from repro.isa.opcodes import OpClass
+from repro.workload.generator import (
+    FP_REG_BASE,
+    NUM_ARCH_REGS,
+    NUM_GLOBAL_REGS,
+    WrongPathSynthesizer,
+    generate_trace,
+)
+from repro.workload.spec2000 import get_profile
+
+
+@pytest.fixture(scope="module")
+def gcc_trace():
+    return generate_trace(get_profile("gcc"), thread_id=0, length=4000, seed=7)
+
+
+@pytest.fixture(scope="module")
+def swim_trace():
+    return generate_trace(get_profile("swim"), thread_id=1, length=4000, seed=7)
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self):
+        a = generate_trace(get_profile("mcf"), 0, 500, seed=3)
+        b = generate_trace(get_profile("mcf"), 0, 500, seed=3)
+        for x, y in zip(a.instrs, b.instrs):
+            assert (x.op, x.pc, x.src_regs, x.dest_reg, x.mem_addr,
+                    x.taken, x.target, x.ace) == \
+                   (y.op, y.pc, y.src_regs, y.dest_reg, y.mem_addr,
+                    y.taken, y.target, y.ace)
+
+    def test_different_seed_different_trace(self):
+        a = generate_trace(get_profile("mcf"), 0, 500, seed=3)
+        b = generate_trace(get_profile("mcf"), 0, 500, seed=4)
+        assert any(x.op is not y.op or x.mem_addr != y.mem_addr
+                   for x, y in zip(a.instrs, b.instrs))
+
+    def test_different_threads_different_addresses(self):
+        a = generate_trace(get_profile("gcc"), 0, 200, seed=3)
+        b = generate_trace(get_profile("gcc"), 1, 200, seed=3)
+        addrs_a = {i.mem_addr for i in a.instrs if i.is_memory}
+        addrs_b = {i.mem_addr for i in b.instrs if i.is_memory}
+        assert not (addrs_a & addrs_b)
+
+
+class TestTraceShape:
+    def test_length(self, gcc_trace):
+        assert len(gcc_trace) == 4000
+
+    def test_sequence_numbers_monotonic(self, gcc_trace):
+        for i, instr in enumerate(gcc_trace.instrs):
+            assert instr.seq == i
+
+    def test_mix_close_to_profile(self, gcc_trace):
+        stats = gcc_trace.stats()
+        profile = get_profile("gcc")
+        assert stats.load_fraction == pytest.approx(profile.frac_load, abs=0.05)
+
+    def test_registers_in_range(self, gcc_trace):
+        for instr in gcc_trace.instrs:
+            for r in instr.src_regs:
+                assert 0 <= r < NUM_ARCH_REGS
+            if instr.dest_reg is not None:
+                assert 0 <= instr.dest_reg < NUM_ARCH_REGS
+
+    def test_int_program_has_no_fp_ops(self, gcc_trace):
+        stats = gcc_trace.stats()
+        for op in (OpClass.FALU, OpClass.FMUL, OpClass.FDIV):
+            assert stats.by_op.get(op, 0) == 0
+
+    def test_fp_program_has_fp_ops(self, swim_trace):
+        stats = swim_trace.stats()
+        fp = sum(stats.by_op.get(op, 0)
+                 for op in (OpClass.FALU, OpClass.FMUL, OpClass.FDIV))
+        assert fp > 0.2 * stats.total
+
+    def test_memory_ops_have_addresses(self, gcc_trace):
+        for instr in gcc_trace.instrs:
+            if instr.is_memory:
+                assert instr.mem_addr > 0
+
+    def test_taken_control_has_target(self, gcc_trace):
+        for instr in gcc_trace.instrs:
+            if instr.is_control and instr.taken:
+                assert instr.target > 0 or instr.target == 0  # within thread 0 space
+                assert instr.target != instr.pc
+
+    def test_rejects_nonpositive_length(self):
+        with pytest.raises(WorkloadError):
+            generate_trace(get_profile("gcc"), 0, 0)
+
+    def test_prologue_writes_int_globals(self, gcc_trace):
+        dests = [i.dest_reg for i in gcc_trace.instrs[:NUM_GLOBAL_REGS]]
+        assert set(dests) == set(range(NUM_GLOBAL_REGS))
+
+    def test_prologue_writes_fp_globals_for_fp_programs(self, swim_trace):
+        dests = [i.dest_reg for i in swim_trace.instrs[:2 * NUM_GLOBAL_REGS]]
+        assert set(dests) == (set(range(NUM_GLOBAL_REGS))
+                              | set(range(FP_REG_BASE, FP_REG_BASE + NUM_GLOBAL_REGS)))
+
+
+class TestDynamicDead:
+    """The generator's DYN_DEAD marking must be *exactly* first-order deadness."""
+
+    def _recompute(self, instrs):
+        INF = len(instrs) + 1
+        next_read = [INF] * NUM_ARCH_REGS
+        next_write = [INF] * NUM_ARCH_REGS
+        dead = {}
+        for ins in reversed(instrs):
+            if ins.dest_reg is not None:
+                dead[ins.seq] = next_write[ins.dest_reg] < next_read[ins.dest_reg]
+                next_write[ins.dest_reg] = ins.seq
+            for s in ins.src_regs:
+                next_read[s] = ins.seq
+        return dead
+
+    def test_matches_reference_liveness(self, gcc_trace):
+        dead = self._recompute(gcc_trace.instrs)
+        for ins in gcc_trace.instrs:
+            if ins.op in (OpClass.NOP, OpClass.PREFETCH):
+                continue
+            if ins.dest_reg is None:
+                assert ins.ace is AceClass.ACE
+            else:
+                expected = AceClass.DYN_DEAD if dead[ins.seq] else AceClass.ACE
+                assert ins.ace is expected, f"seq {ins.seq}"
+
+    def test_some_dead_instructions_exist(self, gcc_trace):
+        frac = gcc_trace.stats().dead_fraction
+        assert 0.0 < frac < 0.5
+
+    def test_stores_and_branches_never_dead(self, gcc_trace):
+        for ins in gcc_trace.instrs:
+            if ins.is_store or ins.is_control:
+                assert ins.ace is not AceClass.DYN_DEAD
+
+
+class TestWrongPathSynthesizer:
+    def test_all_wrong_path(self):
+        synth = WrongPathSynthesizer(get_profile("gcc"), 0)
+        for k in range(100):
+            instr = synth.synthesize(0x1000 + 4 * k)
+            assert instr.wrong_path
+            assert instr.ace is AceClass.WRONG_PATH
+            assert not instr.is_ace
+
+    def test_no_control_ops(self):
+        synth = WrongPathSynthesizer(get_profile("crafty"), 0)
+        for k in range(300):
+            assert not synth.synthesize(4 * k).is_control
+
+    def test_negative_sequence_numbers(self):
+        synth = WrongPathSynthesizer(get_profile("gcc"), 0)
+        seqs = [synth.synthesize(0).seq for _ in range(10)]
+        assert all(s < 0 for s in seqs)
+        assert len(set(seqs)) == 10

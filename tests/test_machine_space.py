@@ -1,0 +1,49 @@
+"""Property-based robustness over the machine-configuration space.
+
+Any structurally valid machine must simulate any workload to completion
+with all invariants intact — no deadlocks, no ledger corruption — across
+widths, queue sizes and latencies far from the Table 1 point.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.avf.structures import Structure
+from repro.config import MachineConfig, SimConfig
+from repro.sim.simulator import simulate
+from repro.workload.mixes import get_mix
+
+machine_configs = st.builds(
+    MachineConfig,
+    fetch_width=st.integers(2, 8),
+    issue_width=st.integers(2, 8),
+    commit_width=st.integers(2, 8),
+    iq_entries=st.integers(8, 128),
+    rob_entries=st.integers(8, 128),
+    lsq_entries=st.integers(4, 64),
+    int_phys_regs=st.integers(48, 256),
+    fp_phys_regs=st.integers(48, 256),
+    fetch_threads_per_cycle=st.integers(1, 2),
+    decode_latency=st.integers(1, 6),
+    iq_partitioned=st.booleans(),
+)
+
+
+@given(config=machine_configs,
+       workload=st.sampled_from(["2-CPU-A", "2-MEM-B", "2-MIX-A"]),
+       policy=st.sampled_from(["ICOUNT", "FLUSH", "DWARN"]))
+@settings(max_examples=12, deadline=None)
+def test_any_valid_machine_completes(config, workload, policy):
+    result = simulate(get_mix(workload), policy=policy, config=config,
+                      sim=SimConfig(max_instructions=250, max_cycles=2_000_000))
+    assert result.committed >= 250
+    for s in Structure:
+        assert 0.0 <= result.avf.avf[s] <= 1.0
+        assert result.avf.avf[s] <= result.utilization_bound(s)
+
+
+def test_utilization_bound_helper_exists():
+    """The property above relies on a helper; pin its semantics here."""
+    r = simulate(get_mix("2-CPU-A"), sim=SimConfig(max_instructions=200))
+    for s in Structure:
+        assert r.utilization_bound(s) >= r.avf.avf[s] - 1e-9

@@ -1,0 +1,94 @@
+"""Performance and reliability-efficiency metrics."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.metrics.perf import (
+    aggregate_weighted_avf,
+    harmonic_mean_weighted_ipc,
+    ipc,
+    weighted_speedup,
+)
+from repro.metrics.reliability import (
+    mitf_relative,
+    normalize_to_baseline,
+    reliability_efficiency,
+)
+
+
+class TestIpc:
+    def test_basic(self):
+        assert ipc(200, 100) == 2.0
+
+    def test_rejects_zero_cycles(self):
+        with pytest.raises(ReproError):
+            ipc(100, 0)
+
+
+class TestWeightedSpeedup:
+    def test_equal_performance_gives_thread_count(self):
+        assert weighted_speedup([1.0, 2.0], [1.0, 2.0]) == pytest.approx(2.0)
+
+    def test_half_speed_threads(self):
+        assert weighted_speedup([0.5, 1.0], [1.0, 2.0]) == pytest.approx(1.0)
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ReproError):
+            weighted_speedup([1.0], [1.0, 2.0])
+
+    def test_rejects_zero_reference(self):
+        with pytest.raises(ReproError):
+            weighted_speedup([1.0], [0.0])
+
+
+class TestHarmonicIpc:
+    def test_balanced_threads(self):
+        assert harmonic_mean_weighted_ipc([1.0, 1.0], [2.0, 2.0]) == pytest.approx(0.5)
+
+    def test_punishes_imbalance(self):
+        balanced = harmonic_mean_weighted_ipc([1.0, 1.0], [2.0, 2.0])
+        starved = harmonic_mean_weighted_ipc([1.9, 0.1], [2.0, 2.0])
+        assert starved < balanced
+
+    def test_zero_thread_collapses_metric(self):
+        assert harmonic_mean_weighted_ipc([0.0, 1.0], [1.0, 1.0]) == 0.0
+
+
+class TestAggregateWeightedAvf:
+    def test_work_weighting(self):
+        avfs = {0: 0.2, 1: 0.6}
+        work = {0: 0.75, 1: 0.25}
+        assert aggregate_weighted_avf(avfs, work) == pytest.approx(0.3)
+
+    def test_rejects_zero_work(self):
+        with pytest.raises(ReproError):
+            aggregate_weighted_avf({0: 0.1}, {0: 0.0})
+
+
+class TestReliabilityEfficiency:
+    def test_ratio(self):
+        assert reliability_efficiency(2.0, 0.5) == 4.0
+
+    def test_zero_avf_is_infinite(self):
+        assert reliability_efficiency(1.0, 0.0) == float("inf")
+
+    def test_mitf_relative(self):
+        # Design point doubles IPC/AVF over the baseline.
+        assert mitf_relative(2.0, 0.5, 1.0, 0.5) == pytest.approx(2.0)
+
+    def test_mitf_relative_infinite_baseline(self):
+        assert mitf_relative(1.0, 0.5, 1.0, 0.0) == 0.0
+        assert mitf_relative(1.0, 0.0, 1.0, 0.0) == 1.0
+
+
+class TestNormalize:
+    def test_baseline_becomes_one(self):
+        values = {"ICOUNT": 2.0, "FLUSH": 3.0, "STALL": 1.0}
+        out = normalize_to_baseline(values, "ICOUNT")
+        assert out["ICOUNT"] == 1.0
+        assert out["FLUSH"] == pytest.approx(1.5)
+        assert out["STALL"] == pytest.approx(0.5)
+
+    def test_zero_baseline(self):
+        out = normalize_to_baseline({"a": 0.0, "b": 2.0}, "a")
+        assert out["b"] == float("inf")

@@ -1,0 +1,116 @@
+"""AVF phase tracking and FIT/MTTF estimation."""
+
+import pytest
+
+from repro.avf.engine import AvfEngine
+from repro.avf.fit import DEFAULT_RAW_FIT_PER_BIT, FitEstimate, fit_estimate
+from repro.avf.phases import PhaseTracker, phase_statistics
+from repro.avf.structures import Structure
+from repro.config import MachineConfig, SimConfig
+from repro.errors import ConfigError
+from repro.sim.simulator import simulate
+from repro.workload.mixes import get_mix
+
+
+class TestPhaseTracker:
+    def test_rejects_bad_window(self):
+        engine = AvfEngine(MachineConfig(), 1)
+        with pytest.raises(ConfigError):
+            PhaseTracker(engine, 0)
+
+    def test_window_avf_reflects_recent_accrual(self):
+        engine = AvfEngine(MachineConfig(), 1)
+        tracker = PhaseTracker(engine, window=100)
+        # Window 1: 960 ACE entry-cycles on the 96-entry IQ => AVF 0.1.
+        engine.account(Structure.IQ).add(0, 960.0, ace=True)
+        tracker.tick(100)
+        # Window 2: nothing.
+        tracker.tick(200)
+        series = tracker.finalize(200)
+        assert series.avf[Structure.IQ][0] == pytest.approx(0.1)
+        assert series.avf[Structure.IQ][1] == pytest.approx(0.0)
+
+    def test_partial_final_window_emitted(self):
+        engine = AvfEngine(MachineConfig(), 1)
+        tracker = PhaseTracker(engine, window=100)
+        tracker.tick(100)
+        engine.account(Structure.IQ).add(0, 96.0, ace=True)
+        series = tracker.finalize(150)  # trailing 50-cycle window
+        assert len(series.avf[Structure.IQ]) == 2
+        assert series.avf[Structure.IQ][1] == pytest.approx(96.0 / (96 * 50))
+
+    def test_private_structures_aggregate_threads(self):
+        engine = AvfEngine(MachineConfig(), 2)
+        tracker = PhaseTracker(engine, window=100)
+        engine.account(Structure.ROB, 0).add(0, 960.0, ace=True)
+        engine.account(Structure.ROB, 1).add(1, 960.0, ace=True)
+        series = tracker.finalize(100)
+        # (960+960) / (96 entries x 2 threads x 100 cycles) = 0.1
+        assert series.avf[Structure.ROB][0] == pytest.approx(0.1)
+
+    def test_end_to_end_series(self):
+        result = simulate(get_mix("2-MIX-A"),
+                          sim=SimConfig(max_instructions=1500,
+                                        phase_window_cycles=200))
+        series = result.phase_series
+        assert series is not None
+        assert series.windows() >= 2
+        for s in Structure:
+            assert all(0.0 <= v <= 1.0 for v in series.avf[s])
+
+    def test_phase_statistics(self):
+        result = simulate(get_mix("2-MEM-A"),
+                          sim=SimConfig(max_instructions=1500,
+                                        phase_window_cycles=200))
+        stats = phase_statistics(result.phase_series, Structure.IQ)
+        assert stats.mean >= 0.0
+        assert stats.std >= 0.0
+        assert stats.last_value_mae >= 0.0
+
+    def test_statistics_of_empty_series(self):
+        from repro.avf.phases import PhaseSeries
+
+        stats = phase_statistics(PhaseSeries(window=10), Structure.IQ)
+        assert stats.mean == 0.0
+
+
+class TestFit:
+    def _report(self, iq_avf=0.5):
+        engine = AvfEngine(MachineConfig(), 1)
+        engine.account(Structure.IQ).add(0, iq_avf * 96 * 1000, ace=True)
+        return engine.report(cycles=1000)
+
+    def test_fit_formula(self):
+        report = self._report(iq_avf=0.5)
+        est = fit_estimate(report, raw_fit_per_bit=1e-3)
+        expected = 1e-3 * report.bits[Structure.IQ] * 0.5
+        assert est.per_structure[Structure.IQ] == pytest.approx(expected)
+
+    def test_total_and_mttf(self):
+        est = fit_estimate(self._report())
+        assert est.total_fit > 0
+        assert est.mttf_hours == pytest.approx(1e9 / est.total_fit)
+        assert est.mttf_years < est.mttf_hours
+
+    def test_zero_avf_infinite_mttf(self):
+        engine = AvfEngine(MachineConfig(), 1)
+        est = fit_estimate(engine.report(cycles=100))
+        assert est.total_fit == 0.0
+        assert est.mttf_years == float("inf")
+
+    def test_dominant_structure(self):
+        est = fit_estimate(self._report())
+        assert est.dominant_structure() is Structure.IQ
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ConfigError):
+            fit_estimate(self._report(), raw_fit_per_bit=0.0)
+
+    def test_summary_renders(self):
+        text = fit_estimate(self._report()).summary()
+        assert "MTTF" in text
+        assert "IQ" in text
+
+    def test_default_rate_exported(self):
+        assert DEFAULT_RAW_FIT_PER_BIT == pytest.approx(1e-3)
+        assert isinstance(fit_estimate(self._report()), FitEstimate)

@@ -1,0 +1,59 @@
+"""Emergent front-end quality: predictors must track workload character."""
+
+import pytest
+
+from repro.config import SimConfig
+from repro.sim.simulator import simulate_single_thread
+
+
+@pytest.fixture(scope="module")
+def predictable():
+    """swim: 99% predictable branch sites.
+
+    swim branches rarely (2% of instructions), so the sample needs to be
+    large enough that one unlucky random site cannot dominate the rate.
+    """
+    return simulate_single_thread("swim", 10_000)
+
+
+@pytest.fixture(scope="module")
+def branchy():
+    """crafty: branch-heavy with an 11% unpredictable site population."""
+    return simulate_single_thread("crafty", 4000)
+
+
+class TestEmergentPredictionQuality:
+    def test_predictable_programs_predict_well(self, predictable):
+        assert predictable.threads[0].branch_mispredict_rate < 0.12
+
+    def test_unpredictable_programs_mispredict_more(self, predictable, branchy):
+        assert (branchy.threads[0].branch_mispredict_rate
+                > predictable.threads[0].branch_mispredict_rate)
+
+    def test_mispredict_rates_within_realistic_band(self, predictable, branchy):
+        for r in (predictable, branchy):
+            assert 0.0 <= r.threads[0].branch_mispredict_rate < 0.35
+
+    def test_wrong_path_work_tracks_mispredicts(self, branchy):
+        t = branchy.threads[0]
+        if t.branch_mispredict_rate > 0.02:
+            assert t.wrong_path_fetched > 0
+
+
+class TestCliReproduce:
+    def test_reproduce_subset(self, tmp_path, capsys):
+        from repro.cli import main
+
+        rc = main(["reproduce", "--out", str(tmp_path), "--scale", "200",
+                   "--only", "fig1_avf_profile"])
+        assert rc == 0
+        assert (tmp_path / "fig1_avf_profile.txt").exists()
+        assert (tmp_path / "REPORT.md").exists()
+        assert "report:" in capsys.readouterr().out
+
+    def test_reproduce_rejects_unknown_artefact(self, capsys):
+        from repro.cli import main
+
+        rc = main(["reproduce", "--only", "fig99"])
+        assert rc == 2
+        assert "unknown artefacts" in capsys.readouterr().err

@@ -1,0 +1,209 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.avf.account import VulnerabilityAccount
+from repro.avf.cache_avf import _union_length
+from repro.branch.gshare import GsharePredictor
+from repro.branch.ras import ReturnAddressStack
+from repro.config import CacheConfig, SimConfig
+from repro.isa.instruction import AceClass
+from repro.isa.opcodes import OpClass
+from repro.memory.cache import Cache
+from repro.memory.mshr import MshrFile
+from repro.metrics.perf import harmonic_mean_weighted_ipc, weighted_speedup
+from repro.workload.generator import NUM_ARCH_REGS, generate_trace
+from repro.workload.spec2000 import PROFILES, get_profile
+
+# ---------------------------------------------------------------------------
+# AVF ledger
+# ---------------------------------------------------------------------------
+
+ledger_ops = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=7),               # thread
+        st.floats(min_value=0.0, max_value=1e6,
+                  allow_nan=False, allow_infinity=False),    # entry-cycles
+        st.booleans(),                                       # ace
+    ),
+    max_size=60,
+)
+
+
+@given(ops=ledger_ops, capacity=st.integers(1, 1000), cycles=st.integers(1, 10_000))
+def test_avf_always_in_unit_interval(ops, capacity, cycles):
+    acct = VulnerabilityAccount("x", capacity)
+    for thread, amount, ace in ops:
+        acct.add(thread, amount, ace)
+    assert 0.0 <= acct.avf(cycles) <= 1.0
+    assert 0.0 <= acct.utilization(cycles) <= 1.0
+
+
+@given(ops=ledger_ops, capacity=st.integers(1, 1000), cycles=st.integers(1, 10_000))
+def test_thread_contributions_never_exceed_total(ops, capacity, cycles):
+    acct = VulnerabilityAccount("x", capacity)
+    for thread, amount, ace in ops:
+        acct.add(thread, amount, ace)
+    total_unclamped = acct.total_ace() / (capacity * cycles)
+    if total_unclamped <= 1.0:
+        parts = sum(acct.thread_avf(t, cycles) for t in range(8))
+        assert parts <= acct.avf(cycles) + 1e-9
+
+
+@given(
+    a=st.tuples(st.integers(0, 1000), st.integers(0, 1000)),
+    b=st.tuples(st.integers(0, 1000), st.integers(0, 1000)),
+)
+def test_union_length_bounds(a, b):
+    length = _union_length(a[0], a[1], b[0], b[1])
+    len_a = max(0, a[1] - a[0])
+    len_b = max(0, b[1] - b[0])
+    assert max(len_a, len_b) <= length <= len_a + len_b
+
+
+# ---------------------------------------------------------------------------
+# Caches
+# ---------------------------------------------------------------------------
+
+@given(
+    addrs=st.lists(st.integers(min_value=0, max_value=1 << 22), min_size=1,
+                   max_size=200),
+)
+@settings(max_examples=50)
+def test_cache_occupancy_bounded_and_rehit(addrs):
+    cache = Cache(CacheConfig("t", 4096, 2, 64, hit_latency=1))
+    for cycle, addr in enumerate(addrs):
+        cache.access(addr, cycle, 0, is_write=False)
+        # Immediately after an access, the line must be resident.
+        assert cache.probe(addr)
+    assert sum(1 for _ in cache.resident_lines()) <= cache.config.num_lines
+    assert cache.hits + cache.misses == len(addrs)
+
+
+@given(
+    ops=st.lists(
+        st.tuples(st.integers(0, 500), st.integers(1, 1000), st.integers(0, 2000)),
+        max_size=100,
+    )
+)
+@settings(max_examples=50)
+def test_mshr_never_exceeds_capacity(ops):
+    mshr = MshrFile(4)
+    for line, delay, cycle in ops:
+        if mshr.lookup(line, cycle) is None:
+            mshr.allocate(line, cycle + delay, cycle)
+        assert mshr.outstanding_count(cycle) <= 4
+
+
+# ---------------------------------------------------------------------------
+# Predictors
+# ---------------------------------------------------------------------------
+
+@given(
+    outcomes=st.lists(st.booleans(), min_size=1, max_size=300),
+    pc=st.integers(0, 1 << 20),
+)
+@settings(max_examples=50)
+def test_gshare_history_stays_in_range(outcomes, pc):
+    g = GsharePredictor(256, 8)
+    for taken in outcomes:
+        predicted, ckpt = g.predict(pc)
+        g.resolve(pc, taken, predicted, ckpt)
+        assert 0 <= g.history < (1 << 8)
+    assert g.lookups == len(outcomes)
+
+
+@given(ops=st.lists(st.one_of(
+    st.tuples(st.just("push"), st.integers(0, 1 << 30)),
+    st.tuples(st.just("pop"), st.just(0)),
+), max_size=200))
+def test_ras_never_exceeds_capacity(ops):
+    ras = ReturnAddressStack(16)
+    model = []
+    for op, value in ops:
+        if op == "push":
+            ras.push(value)
+            model.append(value)
+            model = model[-16:]
+        else:
+            got = ras.pop()
+            expected = model.pop() if model else None
+            assert got == expected
+        assert len(ras) <= 16
+
+
+# ---------------------------------------------------------------------------
+# Trace generation
+# ---------------------------------------------------------------------------
+
+@given(
+    program=st.sampled_from(sorted(PROFILES)),
+    length=st.integers(min_value=20, max_value=400),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=25, deadline=None)
+def test_trace_wellformedness(program, length, seed):
+    trace = generate_trace(get_profile(program), 0, length, seed)
+    assert len(trace) == length
+    for instr in trace.instrs:
+        assert 0 <= (instr.dest_reg if instr.dest_reg is not None else 0) < NUM_ARCH_REGS
+        assert all(0 <= s < NUM_ARCH_REGS for s in instr.src_regs)
+        if instr.is_memory:
+            assert instr.mem_addr >= 0
+        if instr.op in (OpClass.NOP, OpClass.PREFETCH):
+            assert instr.ace is not AceClass.ACE
+        if instr.is_store or instr.is_control:
+            assert instr.ace is not AceClass.DYN_DEAD
+        assert not instr.wrong_path
+
+
+@given(seed=st.integers(0, 2**31))
+@settings(max_examples=10, deadline=None)
+def test_trace_determinism_property(seed):
+    a = generate_trace(get_profile("twolf"), 0, 100, seed)
+    b = generate_trace(get_profile("twolf"), 0, 100, seed)
+    assert [(i.op, i.mem_addr, i.pc) for i in a.instrs] == \
+           [(i.op, i.mem_addr, i.pc) for i in b.instrs]
+
+
+# ---------------------------------------------------------------------------
+# Metrics
+# ---------------------------------------------------------------------------
+
+positive_ipcs = st.lists(
+    st.floats(min_value=0.01, max_value=8.0, allow_nan=False), min_size=1,
+    max_size=8,
+)
+
+
+@given(smt=positive_ipcs)
+def test_weighted_speedup_of_self_is_thread_count(smt):
+    assert weighted_speedup(smt, smt) - len(smt) < 1e-9
+
+
+@given(smt=positive_ipcs)
+def test_harmonic_leq_arithmetic(smt):
+    st_ref = [1.0] * len(smt)
+    harmonic = harmonic_mean_weighted_ipc(smt, st_ref)
+    arithmetic = sum(smt) / len(smt)
+    assert harmonic <= arithmetic + 1e-9
+
+
+# ---------------------------------------------------------------------------
+# Config
+# ---------------------------------------------------------------------------
+
+@given(n=st.integers(1, 64), base=st.integers(2, 100_000))
+def test_scaled_budget_monotone(n, base):
+    from repro.config import scaled_instruction_budget
+
+    smaller = scaled_instruction_budget(n, base)
+    larger = scaled_instruction_budget(n + 1, base)
+    assert larger >= smaller
+
+
+@given(warmup=st.integers(0, 1000), budget=st.integers(1, 10_000))
+def test_simconfig_accepts_valid_ranges(warmup, budget):
+    cfg = SimConfig(max_instructions=budget, warmup_instructions=warmup)
+    assert cfg.max_instructions == budget

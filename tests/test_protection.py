@@ -1,0 +1,131 @@
+"""Protection planning: scheme math and hotspot-first budgeting."""
+
+import pytest
+
+from repro.avf.engine import AvfEngine
+from repro.avf.structures import Structure
+from repro.config import MachineConfig, SimConfig
+from repro.errors import ConfigError
+from repro.protection import (
+    SCHEME_PROPERTIES,
+    ProtectionScheme,
+    apply_protection,
+    plan_protection,
+)
+from repro.sim.simulator import simulate
+from repro.workload.mixes import get_mix
+
+
+def _report(iq_avf=0.5, reg_avf=0.1):
+    engine = AvfEngine(MachineConfig(), 1)
+    engine.account(Structure.IQ).add(0, iq_avf * 96 * 1000, ace=True)
+    cap = engine.account(Structure.REG).capacity
+    engine.account(Structure.REG).add(0, reg_avf * cap * 1000, ace=True)
+    return engine.report(cycles=1000)
+
+
+class TestSchemes:
+    def test_outcome_fractions_partition(self):
+        for props in SCHEME_PROPERTIES.values():
+            assert 0.0 <= props.sdc_fraction + props.due_fraction <= 1.0
+
+    def test_parity_detects_ecc_corrects(self):
+        parity = SCHEME_PROPERTIES[ProtectionScheme.PARITY]
+        ecc = SCHEME_PROPERTIES[ProtectionScheme.ECC]
+        assert parity.sdc_fraction == 0.0 and parity.due_fraction == 1.0
+        assert ecc.sdc_fraction == 0.0 and ecc.due_fraction == 0.0
+        assert ecc.area_overhead > parity.area_overhead
+
+
+class TestApplyProtection:
+    def test_none_keeps_raw_sdc(self):
+        report = _report()
+        plan = apply_protection(report, {})
+        iq = plan.estimates[Structure.IQ]
+        assert iq.sdc_fit == pytest.approx(iq.raw_fit)
+        assert iq.due_fit == 0.0
+
+    def test_parity_converts_sdc_to_due(self):
+        report = _report()
+        plan = apply_protection(report, {Structure.IQ: ProtectionScheme.PARITY})
+        iq = plan.estimates[Structure.IQ]
+        assert iq.sdc_fit == 0.0
+        assert iq.due_fit == pytest.approx(iq.raw_fit)
+        assert iq.added_bits == pytest.approx(report.bits[Structure.IQ] / 64.0)
+
+    def test_ecc_removes_both(self):
+        report = _report()
+        plan = apply_protection(report, {Structure.IQ: ProtectionScheme.ECC})
+        iq = plan.estimates[Structure.IQ]
+        assert iq.sdc_fit == 0.0 and iq.due_fit == 0.0
+
+
+class TestPlanner:
+    def test_zero_budget_protects_nothing(self):
+        plan = plan_protection(_report(), area_budget_fraction=0.0)
+        assert all(s is ProtectionScheme.NONE for s in plan.assignments.values())
+
+    def test_generous_budget_removes_all_sdc(self):
+        """With room to spare, every ACE-carrying structure gets protected.
+
+        Parity already zeroes SDC in the first-order single-bit model, so
+        the greedy planner (whose objective is silent corruption) stops
+        there rather than paying ECC's 8x area for the same SDC.
+        """
+        plan = plan_protection(_report(), area_budget_fraction=1.0)
+        assert plan.assignments[Structure.IQ] is not ProtectionScheme.NONE
+        assert plan.total_sdc_fit == pytest.approx(0.0)
+
+    def test_tight_budget_protects_the_hotspot_first(self):
+        report = _report(iq_avf=0.5, reg_avf=0.1)
+        # Budget just enough for parity on the IQ, not on everything.
+        iq_bits = report.bits[Structure.IQ]
+        total = sum(report.bits.values())
+        budget = (iq_bits / 64.0) * 1.5 / total
+        plan = plan_protection(report, area_budget_fraction=budget)
+        assert plan.assignments[Structure.IQ] is not ProtectionScheme.NONE
+        assert plan.total_added_bits <= plan.area_budget_bits + 1e-6
+
+    def test_budget_never_exceeded(self):
+        for frac in (0.001, 0.01, 0.05):
+            plan = plan_protection(_report(), area_budget_fraction=frac)
+            assert plan.total_added_bits <= plan.area_budget_bits + 1e-6
+
+    def test_sdc_monotone_in_budget(self):
+        report = _report()
+        sdc = [plan_protection(report, area_budget_fraction=f).total_sdc_fit
+               for f in (0.0, 0.005, 0.02, 0.2)]
+        assert sdc == sorted(sdc, reverse=True)
+
+    def test_rejects_negative_budget(self):
+        with pytest.raises(ConfigError):
+            plan_protection(_report(), area_budget_fraction=-0.1)
+
+    def test_summary_renders(self):
+        plan = plan_protection(_report(), area_budget_fraction=0.02)
+        text = plan.summary()
+        assert "SDC" in text and "budget" in text
+
+
+class TestEndToEnd:
+    def test_smt_hotspots_get_protected_first(self):
+        """On a real MEM mix, the Section 5 prescription emerges: the shared
+        pipeline hotspots (IQ) are protected before cold structures (FU)."""
+        result = simulate(get_mix("2-MEM-A"), sim=SimConfig(max_instructions=800))
+        report = result.avf
+        # A tight budget relative to all tracked bits.
+        plan = plan_protection(report, area_budget_fraction=0.0005,
+                               structures=[s for s in Structure
+                                           if s not in (Structure.DL1_DATA,
+                                                        Structure.DL1_TAG)])
+        if all(v is ProtectionScheme.NONE for v in plan.assignments.values()):
+            pytest.skip("budget too small to protect anything at this scale")
+        protected = [s for s, v in plan.assignments.items()
+                     if v is not ProtectionScheme.NONE]
+        fit_density = {s: report.avf[s] for s in protected}
+        unprotected_hotter = [
+            s for s, v in plan.assignments.items()
+            if v is ProtectionScheme.NONE
+            and report.avf[s] > max(fit_density.values(), default=0) * 4
+        ]
+        assert not unprotected_hotter

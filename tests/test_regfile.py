@@ -1,0 +1,164 @@
+"""Physical register file: rename, readiness, lifetimes, squash recovery."""
+
+import pytest
+
+from repro.avf.engine import AvfEngine
+from repro.avf.structures import Structure
+from repro.config import MachineConfig
+from repro.errors import StructureError
+from repro.isa.instruction import DynInstr
+from repro.isa.opcodes import OpClass
+from repro.structures.regfile import PhysicalRegisterFile
+
+
+@pytest.fixture
+def engine():
+    return AvfEngine(MachineConfig(), num_threads=2)
+
+
+@pytest.fixture
+def regfile(engine):
+    return PhysicalRegisterFile(8, 8, num_threads=2, engine=engine)
+
+
+def _instr(thread=0, seq=0, dest=3, srcs=(1, 2)):
+    return DynInstr(thread, seq, 0x100, OpClass.IALU, src_regs=srcs, dest_reg=dest)
+
+
+class TestRename:
+    def test_allocates_destination(self, regfile):
+        i = _instr()
+        assert regfile.rename(i, cycle=1)
+        assert i.phys_dest is not None
+        assert i.old_phys_dest is None
+        assert regfile.free_count(False) == 7
+
+    def test_sources_map_to_producers(self, regfile):
+        producer = _instr(dest=5)
+        regfile.rename(producer, 1)
+        consumer = _instr(seq=1, dest=6, srcs=(5,))
+        regfile.rename(consumer, 2)
+        assert consumer.phys_srcs == (producer.phys_dest,)
+
+    def test_unmapped_source_reads_architectural_state(self, regfile):
+        i = _instr(srcs=(7,))
+        regfile.rename(i, 1)
+        assert i.phys_srcs == (None,)
+        assert regfile.sources_ready(i)
+
+    def test_stall_when_pool_empty(self, regfile):
+        for k in range(8):
+            assert regfile.rename(_instr(seq=k, dest=k % 6), 1)
+        assert not regfile.rename(_instr(seq=9, dest=7), 1)
+
+    def test_threads_have_separate_maps(self, regfile):
+        a = _instr(thread=0, dest=4)
+        b = _instr(thread=1, dest=4)
+        regfile.rename(a, 1)
+        regfile.rename(b, 1)
+        assert a.phys_dest != b.phys_dest
+        reader0 = _instr(thread=0, seq=1, dest=None, srcs=(4,))
+        regfile.rename(reader0, 2)
+        assert reader0.phys_srcs == (a.phys_dest,)
+
+
+class TestDataflow:
+    def test_not_ready_until_written(self, regfile):
+        producer = _instr(dest=5)
+        regfile.rename(producer, 1)
+        consumer = _instr(seq=1, dest=None, srcs=(5,))
+        regfile.rename(consumer, 2)
+        assert not regfile.sources_ready(consumer)
+        regfile.mark_written(producer.phys_dest, 4)
+        assert regfile.sources_ready(consumer)
+
+    def test_writeback_to_unallocated_raises(self, regfile):
+        with pytest.raises(StructureError):
+            regfile.mark_written(3, 1)
+
+    def test_double_free_raises(self, regfile):
+        i = _instr()
+        regfile.rename(i, 1)
+        regfile.free(i.phys_dest, 5)
+        with pytest.raises(StructureError):
+            regfile.free(i.phys_dest, 6)
+
+
+class TestLifetimeAccounting:
+    def test_ace_interval_written_to_last_read(self, engine, regfile):
+        i = _instr(dest=5)
+        regfile.rename(i, cycle=10)
+        regfile.mark_written(i.phys_dest, 20)
+        regfile.note_read(i.phys_dest, 50, ace_reader=True)
+        regfile.free(i.phys_dest, 80)
+        acct = engine.account(Structure.REG)
+        # un-ACE [10,20), ACE [20,50), un-ACE [50,80)
+        assert acct.ace_cycles[0] == pytest.approx(30.0)
+        assert acct.unace_cycles[0] == pytest.approx(40.0)
+
+    def test_never_written_is_all_unace(self, engine, regfile):
+        i = _instr(dest=5)
+        regfile.rename(i, 10)
+        regfile.free(i.phys_dest, 60)
+        acct = engine.account(Structure.REG)
+        assert acct.ace_cycles.get(0, 0.0) == 0.0
+        assert acct.unace_cycles[0] == pytest.approx(50.0)
+
+    def test_wrong_path_reads_do_not_extend_ace(self, engine, regfile):
+        i = _instr(dest=5)
+        regfile.rename(i, 0)
+        regfile.mark_written(i.phys_dest, 10)
+        regfile.note_read(i.phys_dest, 90, ace_reader=False)
+        regfile.free(i.phys_dest, 100)
+        acct = engine.account(Structure.REG)
+        assert acct.ace_cycles.get(0, 0.0) == 0.0
+
+
+class TestCommitAndSquash:
+    def test_commit_frees_previous_mapping(self, regfile):
+        first = _instr(dest=5)
+        regfile.rename(first, 1)
+        second = _instr(seq=1, dest=5)
+        regfile.rename(second, 2)
+        assert second.old_phys_dest == first.phys_dest
+        before = regfile.free_count(False)
+        regfile.on_commit(second, 10)
+        assert regfile.free_count(False) == before + 1
+
+    def test_squash_restores_mapping(self, regfile):
+        first = _instr(dest=5)
+        regfile.rename(first, 1)
+        regfile.mark_written(first.phys_dest, 2)
+        second = _instr(seq=1, dest=5)
+        regfile.rename(second, 3)
+        regfile.on_squash(second, 4)
+        reader = _instr(seq=2, dest=None, srcs=(5,))
+        regfile.rename(reader, 5)
+        assert reader.phys_srcs == (first.phys_dest,)
+
+    def test_squash_unmapped_removes_mapping(self, regfile):
+        i = _instr(dest=5)
+        regfile.rename(i, 1)
+        regfile.on_squash(i, 2)
+        reader = _instr(seq=1, dest=None, srcs=(5,))
+        regfile.rename(reader, 3)
+        assert reader.phys_srcs == (None,)
+
+    def test_register_conservation_through_squash(self, regfile):
+        total = regfile.free_count(False)
+        instrs = []
+        for k in range(5):
+            i = _instr(seq=k, dest=k)
+            regfile.rename(i, k)
+            instrs.append(i)
+        for i in reversed(instrs):
+            regfile.on_squash(i, 10)
+        assert regfile.free_count(False) == total
+        assert regfile.allocated_count() == 0
+
+    def test_drain_frees_everything(self, regfile):
+        for k in range(4):
+            regfile.rename(_instr(seq=k, dest=k), k)
+        regfile.drain(100)
+        assert regfile.allocated_count() == 0
+        assert regfile.free_count(False) == 8

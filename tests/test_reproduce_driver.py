@@ -1,0 +1,47 @@
+"""The one-shot reproduction driver."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.reproduce import ARTEFACTS, run_all
+from repro.experiments.runner import ExperimentScale
+
+TINY = ExperimentScale(instructions_per_thread=200)
+
+
+class TestArtefactRegistry:
+    def test_all_eight_figures_registered(self):
+        for n in range(1, 9):
+            assert any(name.startswith(f"fig{n}") for name in ARTEFACTS)
+
+    def test_extension_artefacts_registered(self):
+        assert "smt_vs_superscalar" in ARTEFACTS
+        assert "resource_scaling" in ARTEFACTS
+
+
+class TestRunAll:
+    def test_selected_artefacts_written(self, tmp_path):
+        report = run_all(tmp_path, scale=TINY,
+                         only=["fig1_avf_profile", "fig2_efficiency"])
+        assert report == tmp_path / "REPORT.md"
+        assert (tmp_path / "fig1_avf_profile.txt").exists()
+        assert (tmp_path / "fig2_efficiency.txt").exists()
+        assert not (tmp_path / "fig5_context_scaling.txt").exists()
+
+    def test_report_contains_renderings(self, tmp_path):
+        run_all(tmp_path, scale=TINY, only=["fig1_avf_profile"])
+        text = (tmp_path / "REPORT.md").read_text()
+        assert "Figure 1" in text
+        assert "200 instructions/context" in text
+
+    def test_progress_callback_invoked(self, tmp_path):
+        seen = []
+        run_all(tmp_path, scale=TINY, only=["fig1_avf_profile"],
+                progress=lambda name, secs: seen.append(name))
+        assert seen == ["fig1_avf_profile"]
+
+    def test_creates_output_directory(self, tmp_path):
+        out = tmp_path / "nested" / "dir"
+        run_all(out, scale=TINY, only=["fig1_avf_profile"])
+        assert Path(out).is_dir()

@@ -1,0 +1,66 @@
+"""SimResult / AvfReport presentation surfaces."""
+
+import pytest
+
+from repro.avf.engine import AvfEngine
+from repro.avf.report import AvfReport
+from repro.avf.structures import FIGURE1_ORDER, Structure
+from repro.config import MachineConfig, SimConfig
+from repro.sim.simulator import simulate
+from repro.workload.mixes import get_mix
+
+
+@pytest.fixture(scope="module")
+def result():
+    return simulate(get_mix("2-MEM-A"), sim=SimConfig(max_instructions=600))
+
+
+class TestSimResultSurfaces:
+    def test_efficiency_is_ipc_over_avf(self, result):
+        s = Structure.IQ
+        expected = result.ipc / result.avf.avf[s]
+        assert result.efficiency(s) == pytest.approx(expected)
+
+    def test_structure_avf_accessor(self, result):
+        assert result.structure_avf(Structure.ROB) == result.avf.avf[Structure.ROB]
+
+    def test_summary_contains_metrics(self, result):
+        text = result.summary()
+        assert "ipc=" in text
+        assert "dl1_miss=" in text
+
+
+class TestAvfReportSurfaces:
+    def test_to_dict_figure1_order(self, result):
+        d = result.avf.to_dict()
+        keys = list(d)
+        expected_prefix = [s.value for s in FIGURE1_ORDER]
+        assert keys[:len(expected_prefix)] == expected_prefix
+        assert "DTLB" in keys
+
+    def test_pipeline_avf_excludes_memory_structures(self):
+        engine = AvfEngine(MachineConfig(), 1)
+        # Put ACE residency only in the DL1: pipeline AVF must stay zero.
+        engine.account(Structure.DL1_DATA).add(0, 1e6, ace=True)
+        report = engine.report(cycles=1000)
+        assert report.pipeline_avf() == 0.0
+        assert report.processor_avf() > 0.0
+
+    def test_processor_avf_bounded(self, result):
+        assert 0.0 <= result.avf.processor_avf() <= 1.0
+        assert 0.0 <= result.avf.pipeline_avf() <= 1.0
+
+    def test_bits_recorded_for_all_structures(self, result):
+        for s in Structure:
+            assert result.avf.bits[s] > 0
+
+    def test_from_engine_empty(self):
+        engine = AvfEngine(MachineConfig(), 2)
+        report = AvfReport.from_engine(engine, cycles=100)
+        for s in Structure:
+            assert report.avf[s] == 0.0
+            assert report.utilization[s] == 0.0
+
+    def test_format_table_with_title(self, result):
+        text = result.avf.format_table("my title")
+        assert text.startswith("my title")

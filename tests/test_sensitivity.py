@@ -1,0 +1,58 @@
+"""Resource-sweep experiment plumbing."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments.runner import ExperimentScale
+from repro.experiments.sensitivity import (
+    SWEEPABLE,
+    format_sweep,
+    run_resource_sweep,
+)
+
+TINY = ExperimentScale(instructions_per_thread=250)
+
+
+class TestValidation:
+    def test_unknown_resource(self):
+        with pytest.raises(ConfigError):
+            run_resource_sweep("btb", (16, 32))
+
+    def test_needs_two_sizes(self):
+        with pytest.raises(ConfigError):
+            run_resource_sweep("iq", (96,))
+
+    def test_rejects_nonpositive_sizes(self):
+        with pytest.raises(ConfigError):
+            run_resource_sweep("iq", (0, 96))
+
+
+class TestSweep:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return run_resource_sweep("iq", (48, 96), workload="2-MIX-A",
+                                  scale=TINY)
+
+    def test_point_per_size(self, sweep):
+        assert [p.size for p in sweep.points] == [48, 96]
+
+    def test_values_sane(self, sweep):
+        for p in sweep.points:
+            assert p.ipc > 0
+            assert 0.0 <= p.avf <= 1.0
+            assert p.exposed_bits >= 0.0
+
+    def test_gain_helpers(self, sweep):
+        assert sweep.ipc_gain(1) == pytest.approx(
+            sweep.points[1].ipc / sweep.points[0].ipc - 1.0)
+
+    def test_format(self, sweep):
+        text = format_sweep(sweep)
+        assert "Resource sweep" in text
+        assert "48" in text and "96" in text
+
+    def test_all_resources_sweepable(self):
+        for resource in SWEEPABLE:
+            data = run_resource_sweep(resource, (32, 64),
+                                      workload="2-CPU-A", scale=TINY)
+            assert len(data.points) == 2

@@ -1,0 +1,105 @@
+"""Directional paper-shape tests at test-suite scale.
+
+The benchmark suite asserts the full set of shape targets at REPRO_SCALE;
+these tests assert the most robust subset at a smaller scale so that plain
+``pytest tests/`` already guards the headline results.
+"""
+
+import pytest
+
+from repro.avf.structures import Structure
+from repro.config import SimConfig
+from repro.sim.simulator import simulate, simulate_single_thread
+from repro.workload.mixes import get_mix
+
+
+@pytest.fixture(scope="module")
+def cpu4():
+    return simulate(get_mix("4-CPU-A"), sim=SimConfig(max_instructions=6000))
+
+
+@pytest.fixture(scope="module")
+def mem4():
+    return simulate(get_mix("4-MEM-A"), sim=SimConfig(max_instructions=6000))
+
+
+@pytest.fixture(scope="module")
+def mem4_flush():
+    return simulate(get_mix("4-MEM-A"), policy="FLUSH",
+                    sim=SimConfig(max_instructions=6000))
+
+
+class TestFigure1Shapes:
+    def test_memory_mixes_raise_ilp_structure_avf(self, cpu4, mem4):
+        for s in (Structure.ROB, Structure.LSQ_TAG, Structure.LSQ_DATA):
+            assert mem4.avf.avf[s] > cpu4.avf.avf[s], s
+
+    def test_memory_mixes_lower_fu_and_dl1_data_avf(self, cpu4, mem4):
+        assert mem4.avf.avf[Structure.FU] < cpu4.avf.avf[Structure.FU]
+        assert mem4.avf.avf[Structure.DL1_DATA] < cpu4.avf.avf[Structure.DL1_DATA]
+
+    def test_dl1_tag_above_dl1_data(self, cpu4, mem4):
+        for r in (cpu4, mem4):
+            assert r.avf.avf[Structure.DL1_TAG] > r.avf.avf[Structure.DL1_DATA]
+
+    def test_throughput_ordering(self, cpu4, mem4):
+        assert cpu4.ipc > 2.0 > mem4.ipc
+
+    def test_miss_rate_ordering(self, cpu4, mem4):
+        assert mem4.dl1_miss_rate > 3 * cpu4.dl1_miss_rate
+
+
+class TestPolicyShapes:
+    def test_flush_cuts_iq_rob_lsq_avf_on_mem(self, mem4, mem4_flush):
+        for s in (Structure.IQ, Structure.ROB, Structure.LSQ_TAG):
+            assert mem4_flush.avf.avf[s] < mem4.avf.avf[s], s
+
+    def test_flush_does_not_hurt_mem_throughput(self, mem4, mem4_flush):
+        assert mem4_flush.ipc >= 0.95 * mem4.ipc
+
+    def test_flush_noop_on_cpu(self, cpu4):
+        flush = simulate(get_mix("4-CPU-A"), policy="FLUSH",
+                         sim=SimConfig(max_instructions=6000))
+        assert flush.avf.avf[Structure.IQ] == pytest.approx(
+            cpu4.avf.avf[Structure.IQ], rel=0.05)
+
+
+class TestSmtVsStShapes:
+    def test_thread_avf_shrinks_inside_smt(self, cpu4):
+        """CPU-bound threads contribute less IQ AVF in the mix than they
+        accrue running alone (equal work) — as a population: individual
+        threads can deviate slightly, so assert the majority and the mean."""
+        st_avfs, smt_contribs = [], []
+        for tr in cpu4.threads:
+            st = simulate_single_thread(tr.program, max(tr.committed, 100))
+            st_avfs.append(st.avf.avf[Structure.IQ])
+            smt_contribs.append(cpu4.avf.thread_avf[Structure.IQ][tr.thread_id])
+        wins = sum(1 for st, smt in zip(st_avfs, smt_contribs) if smt < st)
+        assert wins >= len(st_avfs) - 1
+        assert sum(smt_contribs) / len(smt_contribs) < sum(st_avfs) / len(st_avfs)
+
+    def test_aggregate_iq_avf_exceeds_sequential(self, cpu4):
+        total_work = sum(t.committed for t in cpu4.threads)
+        seq = 0.0
+        for tr in cpu4.threads:
+            st = simulate_single_thread(tr.program, max(tr.committed, 100))
+            seq += st.avf.avf[Structure.IQ] * tr.committed / total_work
+        assert cpu4.avf.avf[Structure.IQ] > 1.2 * seq
+
+
+class TestContextScalingShapes:
+    @pytest.mark.slow
+    def test_iq_avf_rises_with_contexts(self):
+        """IQ AVF climbs 2 -> 4 contexts on both classes (Figure 5).
+
+        At 8 contexts the reproduction's front end is supply-bound on CPU
+        mixes (see EXPERIMENTS.md), so the paper's steady climb is asserted
+        only on the 2 -> 4 step here and on MEM in the benchmark suite.
+        """
+        for mix_type in ("CPU", "MEM"):
+            avfs = []
+            for n in (2, 4):
+                r = simulate(get_mix(f"{n}-{mix_type}-A"),
+                             sim=SimConfig(max_instructions=1500 * n))
+                avfs.append(r.avf.avf[Structure.IQ])
+            assert avfs[1] > avfs[0], mix_type

@@ -1,0 +1,89 @@
+"""Trace serialisation round-trips and validation."""
+
+import json
+
+import pytest
+
+from repro.config import SimConfig
+from repro.errors import WorkloadError
+from repro.sim.simulator import simulate
+from repro.workload.generator import generate_trace
+from repro.workload.spec2000 import get_profile
+from repro.workload.tracefile import load_trace, save_trace
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_trace(get_profile("twolf"), thread_id=0, length=400, seed=5)
+
+
+class TestRoundTrip:
+    def test_identical_instructions(self, trace, tmp_path):
+        path = tmp_path / "t.trace"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert len(loaded) == len(trace)
+        for a, b in zip(trace.instrs, loaded.instrs):
+            assert (a.op, a.pc, a.src_regs, a.dest_reg, a.mem_addr,
+                    a.taken, a.target, a.ace) == \
+                   (b.op, b.pc, b.src_regs, b.dest_reg, b.mem_addr,
+                    b.taken, b.target, b.ace)
+
+    def test_metadata_preserved(self, trace, tmp_path):
+        path = tmp_path / "t.trace"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert loaded.profile.name == "twolf"
+        assert loaded.seed == 5
+        assert loaded.thread_id == 0
+
+    def test_loaded_trace_simulates_identically(self, trace, tmp_path):
+        path = tmp_path / "t.trace"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        sim = SimConfig(max_instructions=400)
+        a = simulate(["twolf"], sim=sim, traces=[trace])
+        b = simulate(["twolf"], sim=sim, traces=[loaded])
+        assert a.cycles == b.cycles
+        assert a.ipc == b.ipc
+
+
+class TestValidation:
+    def test_rejects_non_trace_file(self, tmp_path):
+        path = tmp_path / "bogus"
+        path.write_text("hello world\n")
+        with pytest.raises(WorkloadError):
+            load_trace(path)
+
+    def test_rejects_wrong_format_marker(self, tmp_path):
+        path = tmp_path / "bogus"
+        path.write_text(json.dumps({"format": "other"}) + "\n")
+        with pytest.raises(WorkloadError):
+            load_trace(path)
+
+    def test_rejects_wrong_version(self, tmp_path, trace):
+        path = tmp_path / "t.trace"
+        save_trace(trace, path)
+        lines = path.read_text().splitlines()
+        header = json.loads(lines[0])
+        header["version"] = 99
+        path.write_text("\n".join([json.dumps(header)] + lines[1:]) + "\n")
+        with pytest.raises(WorkloadError):
+            load_trace(path)
+
+    def test_rejects_truncated_body(self, tmp_path, trace):
+        path = tmp_path / "t.trace"
+        save_trace(trace, path)
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:-10]) + "\n")
+        with pytest.raises(WorkloadError):
+            load_trace(path)
+
+    def test_rejects_unknown_op(self, tmp_path):
+        path = tmp_path / "t.trace"
+        header = {"format": "repro-trace", "version": 1, "program": "gcc",
+                  "thread_id": 0, "seed": 1, "length": 1}
+        path.write_text(json.dumps(header) + "\n"
+                        + json.dumps({"op": "HCF", "pc": 0}) + "\n")
+        with pytest.raises(WorkloadError):
+            load_trace(path)

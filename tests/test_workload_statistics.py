@@ -1,0 +1,97 @@
+"""Statistical properties of the generated traces, for every program model."""
+
+import pytest
+
+from repro.isa.instruction import AceClass
+from repro.isa.opcodes import OpClass, is_fp_op
+from repro.workload.generator import generate_trace
+from repro.workload.spec2000 import PROFILES, get_profile
+
+ALL_PROGRAMS = sorted(PROFILES)
+LENGTH = 1500
+
+
+@pytest.fixture(scope="module")
+def traces():
+    return {name: generate_trace(get_profile(name), 0, LENGTH, seed=3)
+            for name in ALL_PROGRAMS}
+
+
+class TestMixConvergence:
+    @pytest.mark.parametrize("program", ALL_PROGRAMS)
+    def test_load_fraction_tracks_profile(self, traces, program):
+        stats = traces[program].stats()
+        target = get_profile(program).frac_load
+        assert stats.load_fraction == pytest.approx(target, abs=0.05)
+
+    @pytest.mark.parametrize("program", ALL_PROGRAMS)
+    def test_store_fraction_tracks_profile(self, traces, program):
+        stats = traces[program].stats()
+        target = get_profile(program).frac_store
+        measured = stats.by_op.get(OpClass.STORE, 0) / stats.total
+        assert measured == pytest.approx(target, abs=0.04)
+
+    @pytest.mark.parametrize("program", ALL_PROGRAMS)
+    def test_control_fraction_tracks_profile(self, traces, program):
+        stats = traces[program].stats()
+        target = get_profile(program).frac_branch
+        control = sum(stats.by_op.get(op, 0)
+                      for op in (OpClass.BRANCH, OpClass.CALL, OpClass.RET,
+                                 OpClass.JUMP))
+        assert control / stats.total == pytest.approx(target, abs=0.04)
+
+
+class TestAcePopulation:
+    @pytest.mark.parametrize("program", ALL_PROGRAMS)
+    def test_most_instructions_are_ace(self, traces, program):
+        stats = traces[program].stats()
+        ace = stats.by_ace.get(AceClass.ACE, 0)
+        assert ace / stats.total > 0.55
+
+    @pytest.mark.parametrize("program", ALL_PROGRAMS)
+    def test_dead_fraction_reasonable(self, traces, program):
+        """First-order dynamic deadness lands in the literature's 5-30% band."""
+        frac = traces[program].stats().dead_fraction
+        assert 0.01 < frac < 0.40, frac
+
+    @pytest.mark.parametrize("program", ALL_PROGRAMS)
+    def test_nops_match_profile(self, traces, program):
+        stats = traces[program].stats()
+        target = get_profile(program).frac_nop
+        measured = stats.by_ace.get(AceClass.NOP, 0) / stats.total
+        assert measured == pytest.approx(target, abs=0.02)
+
+
+class TestSuiteCharacter:
+    def test_int_programs_have_no_fp(self, traces):
+        for name in ALL_PROGRAMS:
+            if get_profile(name).frac_fp == 0.0:
+                stats = traces[name].stats()
+                fp = sum(stats.by_op.get(op, 0) for op in OpClass
+                         if is_fp_op(op))
+                # Prologue writes no FP globals for pure-integer programs.
+                assert fp == 0, name
+
+    def test_memory_programs_touch_non_temporal_space(self, traces):
+        from repro.workload.address_stream import is_non_temporal
+
+        for name in ("mcf", "swim", "lucas"):
+            hits = sum(1 for i in traces[name].instrs
+                       if i.is_memory and is_non_temporal(i.mem_addr))
+            assert hits > 0.2 * LENGTH * get_profile(name).frac_load, name
+
+    def test_cpu_programs_never_touch_non_temporal_space(self, traces):
+        from repro.workload.address_stream import is_non_temporal
+
+        for name in ("bzip2", "eon", "gcc", "mesa"):
+            hits = sum(1 for i in traces[name].instrs
+                       if i.is_memory and is_non_temporal(i.mem_addr))
+            assert hits == 0, name
+
+    def test_spill_reload_pairs_exist(self, traces):
+        """The store_forward_fraction idiom: some loads revisit store addresses."""
+        trace = traces["gcc"]
+        store_addrs = {i.mem_addr for i in trace.instrs if i.is_store}
+        reloads = sum(1 for i in trace.instrs
+                      if i.is_load and i.mem_addr in store_addrs)
+        assert reloads > 0
