@@ -2,7 +2,9 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench reproduce examples clean
+.PHONY: install test bench reproduce reproduce-smoke examples clean
+
+SMOKE_DIR ?= .smoke
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -18,6 +20,19 @@ bench:
 
 reproduce:
 	$(PYTHON) -m repro.cli reproduce --out reproduction
+
+# Parallel-runner + result-cache smoke test: the second run must simulate
+# nothing (served from the warm cache) and render byte-identical output.
+reproduce-smoke:
+	rm -rf $(SMOKE_DIR)
+	PYTHONPATH=src $(PYTHON) -m repro.cli reproduce --only fig1_avf_profile \
+		--scale 300 --jobs 2 --cache-dir $(SMOKE_DIR)/cache --out $(SMOKE_DIR)/run1
+	PYTHONPATH=src $(PYTHON) -m repro.cli reproduce --only fig1_avf_profile \
+		--scale 300 --jobs 2 --cache-dir $(SMOKE_DIR)/cache --out $(SMOKE_DIR)/run2 \
+		| tee $(SMOKE_DIR)/second.log
+	grep -q "simulated 0 runs" $(SMOKE_DIR)/second.log
+	cmp $(SMOKE_DIR)/run1/fig1_avf_profile.txt $(SMOKE_DIR)/run2/fig1_avf_profile.txt
+	rm -rf $(SMOKE_DIR)
 
 examples:
 	for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f || exit 1; done

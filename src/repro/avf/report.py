@@ -78,6 +78,44 @@ class AvfReport:
             return 0.0
         return sum(self.avf[s] * self.bits[s] for s in pipeline) / total_bits
 
+    # -- serialization -------------------------------------------------------------
+
+    def to_payload(self) -> Dict[str, object]:
+        """JSON-safe dict carrying the full report (see :meth:`from_payload`).
+
+        Structures are keyed by their ``Structure.value`` string and thread
+        ids by their decimal string, so the payload survives a JSON
+        round-trip byte-exactly (Python floats serialise via shortest
+        round-trip repr).
+        """
+        return {
+            "cycles": self.cycles,
+            "num_threads": self.num_threads,
+            "avf": {s.value: v for s, v in self.avf.items()},
+            "thread_avf": {
+                s.value: {str(tid): v for tid, v in per.items()}
+                for s, per in self.thread_avf.items()
+            },
+            "utilization": {s.value: v for s, v in self.utilization.items()},
+            "bits": {s.value: v for s, v in self.bits.items()},
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, object]) -> "AvfReport":
+        """Inverse of :meth:`to_payload`."""
+        return cls(
+            cycles=int(payload["cycles"]),
+            num_threads=int(payload["num_threads"]),
+            avf={Structure(k): float(v) for k, v in payload["avf"].items()},
+            thread_avf={
+                Structure(k): {int(tid): float(v) for tid, v in per.items()}
+                for k, per in payload["thread_avf"].items()
+            },
+            utilization={Structure(k): float(v)
+                         for k, v in payload["utilization"].items()},
+            bits={Structure(k): int(v) for k, v in payload["bits"].items()},
+        )
+
     # -- presentation --------------------------------------------------------------
 
     def to_dict(self) -> Dict[str, float]:

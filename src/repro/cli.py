@@ -8,6 +8,7 @@ Installed as the ``repro-sim`` console script::
     repro-sim figure 1 --scale 1200             # any of 1..8
     repro-sim inject 2-MIX-A --strikes 10000    # AVF-vs-injection check
     repro-sim fit 4-CPU-A                       # FIT/MTTF breakdown
+    repro-sim reproduce --jobs 8 --cache-dir .repro-cache   # parallel + cached
 """
 
 from __future__ import annotations
@@ -71,12 +72,25 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cache_from_args(args: argparse.Namespace):
+    """Build the ResultCache the --jobs/--cache-dir/--no-cache flags ask for."""
+    from repro.experiments.runner import ResultCache
+
+    if args.jobs < 1:
+        raise ReproError("--jobs must be >= 1")
+    cache_dir = None if args.no_cache else args.cache_dir
+    return ResultCache(cache_dir=cache_dir)
+
+
 def _cmd_figure(args: argparse.Namespace) -> int:
     import os
 
-    if args.scale:
+    if args.scale is not None:
         os.environ["REPRO_SCALE"] = str(args.scale)
     from repro import experiments
+    from repro.experiments.parallel import prewarm_artefacts
+    from repro.experiments.reproduce import ARTEFACTS
+    from repro.experiments.runner import ExperimentScale
 
     runners = {
         1: (experiments.run_figure1, experiments.format_figure1),
@@ -88,8 +102,12 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         7: (experiments.run_figure7, experiments.format_figure7),
         8: (experiments.run_figure8, experiments.format_figure8),
     }
+    scale = ExperimentScale.from_env()
+    cache = _cache_from_args(args)
+    artefact = next(n for n in ARTEFACTS if n.startswith(f"fig{args.number}_"))
+    prewarm_artefacts([artefact], scale, cache, jobs=args.jobs)
     run, fmt = runners[args.number]
-    print(fmt(run()))
+    print(fmt(run(scale, cache)))
     return 0
 
 
@@ -99,11 +117,15 @@ def _cmd_inject(args: argparse.Namespace) -> int:
     workload = _resolve_workload(args.workload)
     threads = (workload.num_threads if hasattr(workload, "num_threads")
                else len(workload))
+    if args.jobs < 1:
+        raise ReproError("--jobs must be >= 1")
     result = run_campaign(
         workload,
         injections=args.strikes,
         sim=SimConfig(max_instructions=args.instructions * threads,
                       seed=args.seed),
+        jobs=args.jobs,
+        cache_dir=None if args.no_cache else args.cache_dir,
     )
     print(result.summary())
     return 0
@@ -128,7 +150,7 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
     import os
     from pathlib import Path
 
-    if args.scale:
+    if args.scale is not None:
         os.environ["REPRO_SCALE"] = str(args.scale)
     from repro.experiments.reproduce import ARTEFACTS, run_all
 
@@ -142,8 +164,12 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
     def progress(name: str, elapsed: float) -> None:
         print(f"  {name:<28} {elapsed:6.1f}s")
 
+    cache = _cache_from_args(args)
     print(f"Reproducing into {args.out} ...")
-    report = run_all(Path(args.out), only=only, progress=progress)
+    report = run_all(Path(args.out), only=only, progress=progress,
+                     jobs=args.jobs, cache=cache)
+    print(f"simulated {cache.simulated} runs "
+          f"({cache.disk_hits} loaded from cache)")
     print(f"report: {report}")
     return 0
 
@@ -159,6 +185,19 @@ def _cmd_fit(args: argparse.Namespace) -> int:
     print(f"\nvulnerability hotspot: {estimate.dominant_structure().value} "
           f"(protect this structure first — paper Section 5)")
     return 0
+
+
+def _add_cache_options(parser: argparse.ArgumentParser) -> None:
+    """Shared parallelism/cache flags (reproduce, figure, inject)."""
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for independent simulations "
+                             "(default 1 = serial)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="persist simulation results under this directory "
+                             "and reuse them across invocations")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="ignore --cache-dir: neither read nor write the "
+                             "on-disk result cache")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -184,12 +223,14 @@ def build_parser() -> argparse.ArgumentParser:
     fig.add_argument("number", type=int, choices=range(1, 9))
     fig.add_argument("--scale", type=int, default=None,
                      help="instructions per thread (sets REPRO_SCALE)")
+    _add_cache_options(fig)
 
     inject = sub.add_parser("inject", help="fault-injection campaign")
     inject.add_argument("workload", nargs="+")
     inject.add_argument("--strikes", type=int, default=5000)
     inject.add_argument("-n", "--instructions", type=int, default=2500)
     inject.add_argument("--seed", type=int, default=1)
+    _add_cache_options(inject)
 
     rmt = sub.add_parser("rmt", help="redundant-multithreading trade-off")
     rmt.add_argument("program")
@@ -205,6 +246,7 @@ def build_parser() -> argparse.ArgumentParser:
     repro.add_argument("--scale", type=int, default=None)
     repro.add_argument("--only", default=None,
                        help="comma-separated artefact names (default: all)")
+    _add_cache_options(repro)
 
     fit = sub.add_parser("fit", help="FIT/MTTF estimate for a workload")
     fit.add_argument("workload", nargs="+")

@@ -15,6 +15,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Union
 from repro.avf.structures import Structure
 from repro.config import DEFAULT_CONFIG, MachineConfig, SimConfig
 from repro.errors import ConfigError
+from repro.experiments.runner import ResultCache
 from repro.sim.results import SimResult
 from repro.sim.simulator import simulate
 from repro.workload.mixes import WorkloadMix
@@ -71,8 +72,14 @@ def run_multiseed(workload: Union[WorkloadMix, Sequence[str]],
                   policy: str = "ICOUNT",
                   instructions_per_thread: int = 2000,
                   config: Optional[MachineConfig] = None,
-                  structures: Optional[Sequence[Structure]] = None) -> MultiSeedResult:
-    """Run one workload/policy point under several generator seeds."""
+                  structures: Optional[Sequence[Structure]] = None,
+                  cache: Optional[ResultCache] = None) -> MultiSeedResult:
+    """Run one workload/policy point under several generator seeds.
+
+    With ``cache`` given (typically a disk-backed :class:`ResultCache`),
+    per-seed runs are cached, so re-running a spread analysis with more
+    seeds only simulates the new ones.
+    """
     if len(seeds) < 1:
         raise ConfigError("need at least one seed")
     config = config or DEFAULT_CONFIG
@@ -84,11 +91,12 @@ def run_multiseed(workload: Union[WorkloadMix, Sequence[str]],
     out = MultiSeedResult(workload=name, policy=policy, seeds=tuple(seeds),
                           avf={s: SeedStatistics() for s in tracked})
     for seed in seeds:
-        result = simulate(
-            workload, policy=policy, config=config,
-            sim=SimConfig(max_instructions=instructions_per_thread * threads,
-                          seed=seed),
-        )
+        sim = SimConfig(max_instructions=instructions_per_thread * threads,
+                        seed=seed)
+        if cache is not None:
+            result = cache.run(workload, policy=policy, sim=sim, config=config)
+        else:
+            result = simulate(workload, policy=policy, config=config, sim=sim)
         out.runs.append(result)
         out.ipc.values.append(result.ipc)
         for s in tracked:

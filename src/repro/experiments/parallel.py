@@ -1,0 +1,203 @@
+"""Parallel experiment execution: fan simulation jobs over worker processes.
+
+One job is one independent :func:`repro.sim.simulator.simulate` call — a
+(workload, policy, machine config, sim config) tuple.  :func:`run_jobs`
+deduplicates jobs by content digest, skips those already satisfied by the
+:class:`ResultCache` (memory or disk) and executes the rest, inline for one
+worker or on a ``ProcessPoolExecutor`` otherwise; every result lands in the
+cache, so artefact rendering afterwards never simulates.
+
+:func:`prewarm_artefacts` knows which runs each ``repro-sim reproduce``
+artefact needs.  Planning happens in two stages because the single-thread
+reference runs of Figures 3/4/8 and the SMT-vs-superscalar verdict depend
+on the committed instruction counts of the SMT runs: stage one fans out
+every SMT simulation, stage two derives the single-thread jobs from the
+then-warm cache and fans those out.
+
+The planners mirror the workload sets hard-coded in the ``fig*`` modules;
+a drift between the two is benign — a missed job is simply simulated inline
+at render time (cache miss), never wrong.
+
+Determinism: a simulation depends only on its job tuple, and results cross
+process boundaries as exact payload dicts (float bit patterns preserved by
+pickle), so ``--jobs N`` renders byte-identical artefact text to ``--jobs
+1``; tests assert this.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple, Union
+
+from repro.config import MachineConfig, SimConfig
+from repro.errors import ConfigError
+from repro.experiments.runner import (
+    MIX_TYPES,
+    ExperimentScale,
+    ResultCache,
+    job_key,
+    stable_digest,
+)
+from repro.experiments.sensitivity import SWEEPABLE
+from repro.fetch.registry import POLICY_NAMES
+from repro.sim.results import SimResult
+from repro.sim.simulator import simulate
+from repro.workload.mixes import TABLE2_MIXES, WorkloadMix, get_mix, mixes_for
+
+#: Workloads Figure 3 (and thus Figure 4) compares across execution modes.
+FIG3_WORKLOADS = ("4-CPU-A", "4-MIX-A", "4-MEM-A")
+
+#: The resource-scaling artefact's sweep: (resource, size ladder, workload).
+#: Shared with ``reproduce.ARTEFACTS`` so planner and renderer cannot drift.
+RESOURCE_SWEEP = ("rob", (24, 48, 96, 192), "4-CPU-A")
+
+
+@dataclass(frozen=True)
+class SimJob:
+    """One independent simulation: everything ``simulate`` needs, picklable."""
+
+    workload_name: str
+    programs: Tuple[str, ...]
+    policy: str
+    config: MachineConfig
+    sim: SimConfig
+
+    def workload(self) -> Union[WorkloadMix, List[str]]:
+        """The Table 2 mix when the name matches one, else the program list."""
+        mix = TABLE2_MIXES.get(self.workload_name)
+        if mix is not None and mix.programs == self.programs:
+            return mix
+        return list(self.programs)
+
+    def digest(self) -> str:
+        return stable_digest(
+            job_key(self.config, self.sim, self.workload(), self.policy))
+
+
+def _execute(job: SimJob) -> Tuple[str, Dict[str, object]]:
+    """Worker entry point: run one job, return (digest, result payload)."""
+    result = simulate(job.workload(), policy=job.policy,
+                      config=job.config, sim=job.sim)
+    return job.digest(), result.to_payload()
+
+
+def run_jobs(jobs: Iterable[SimJob], cache: ResultCache,
+             max_workers: int = 1) -> int:
+    """Execute every job the cache cannot already answer; returns that count.
+
+    Jobs are deduplicated by digest first, then checked against the cache
+    (memory and disk), so the union of several artefacts' job sets costs
+    each distinct simulation once.
+    """
+    if max_workers < 1:
+        raise ConfigError("max_workers must be >= 1")
+    unique: Dict[str, SimJob] = {}
+    for job in jobs:
+        unique.setdefault(job.digest(), job)
+    pending = {d: j for d, j in unique.items() if cache.get(d) is None}
+    if not pending:
+        return 0
+    if max_workers == 1 or len(pending) == 1:
+        for job in pending.values():
+            cache.run(job.workload(), policy=job.policy,
+                      sim=job.sim, config=job.config)
+        return len(pending)
+    with ProcessPoolExecutor(max_workers=min(max_workers, len(pending))) as pool:
+        futures = [pool.submit(_execute, job) for job in pending.values()]
+        for future in as_completed(futures):
+            digest, payload = future.result()
+            cache.put(digest, SimResult.from_payload(payload))
+            cache.simulated += 1
+    return len(pending)
+
+
+# -- per-artefact job planning ---------------------------------------------------
+
+
+def _smt_job(mix: WorkloadMix, policy: str, scale: ExperimentScale,
+             config: MachineConfig) -> SimJob:
+    return SimJob(workload_name=mix.name, programs=mix.programs, policy=policy,
+                  config=config, sim=scale.sim_config(mix.num_threads))
+
+
+def _st_job(program: str, instructions: int, scale: ExperimentScale,
+            config: MachineConfig) -> SimJob:
+    return SimJob(workload_name=program, programs=(program,), policy="ICOUNT",
+                  config=config,
+                  sim=SimConfig(max_instructions=instructions, seed=scale.seed))
+
+
+def smt_jobs_for(name: str, scale: ExperimentScale,
+                 config: MachineConfig) -> List[SimJob]:
+    """Stage-one (SMT) jobs of one artefact; empty for unknown names."""
+    jobs: List[SimJob] = []
+    if name in ("fig1_avf_profile", "fig2_efficiency", "smt_vs_superscalar"):
+        for mix_type in MIX_TYPES:
+            jobs += [_smt_job(m, "ICOUNT", scale, config)
+                     for m in mixes_for(4, mix_type)]
+    elif name in ("fig3_smt_vs_st", "fig4_smt_vs_st_efficiency"):
+        jobs += [_smt_job(get_mix(n), "ICOUNT", scale, config)
+                 for n in FIG3_WORKLOADS]
+    elif name == "fig5_context_scaling":
+        for mix_type in MIX_TYPES:
+            for contexts in (2, 4, 8):
+                jobs += [_smt_job(m, "ICOUNT", scale, config)
+                         for m in mixes_for(contexts, mix_type)]
+    elif name in ("fig6_fetch_policies", "fig7_policy_efficiency",
+                  "fig8_fairness"):
+        for contexts in (4, 8):
+            for mix_type in MIX_TYPES:
+                for mix in mixes_for(contexts, mix_type):
+                    jobs += [_smt_job(mix, policy, scale, config)
+                             for policy in POLICY_NAMES]
+    elif name == "resource_scaling":
+        resource, sizes, workload = RESOURCE_SWEEP
+        fields, _structure = SWEEPABLE[resource]
+        mix = get_mix(workload)
+        for size in sizes:
+            jobs.append(SimJob(
+                workload_name=mix.name, programs=mix.programs, policy="ICOUNT",
+                config=config.with_overrides(**{f: size for f in fields}),
+                sim=scale.sim_config(mix.num_threads)))
+    return jobs
+
+
+def followup_jobs_for(name: str, scale: ExperimentScale,
+                      cache: ResultCache) -> List[SimJob]:
+    """Stage-two (single-thread) jobs, derived from the warm SMT results.
+
+    Reads the SMT runs through the cache — stage one has already executed
+    them, so this never simulates; if a planner missed one, ``cache.smt``
+    transparently runs it inline.
+    """
+    if name in ("fig3_smt_vs_st", "fig4_smt_vs_st_efficiency"):
+        mixes = [get_mix(n) for n in FIG3_WORKLOADS]
+    elif name == "smt_vs_superscalar":
+        mixes = [m for t in MIX_TYPES for m in mixes_for(4, t)]
+    elif name == "fig8_fairness":
+        mixes = [m for n in (4, 8) for t in MIX_TYPES for m in mixes_for(n, t)]
+    else:
+        return []
+    jobs: List[SimJob] = []
+    for mix in mixes:
+        smt = cache.smt(mix, "ICOUNT", scale)
+        for thread in smt.threads:
+            jobs.append(_st_job(thread.program, max(thread.committed, 100),
+                                scale, cache.config))
+    return jobs
+
+
+def prewarm_artefacts(names: Sequence[str], scale: ExperimentScale,
+                      cache: ResultCache, jobs: int = 1) -> int:
+    """Run every simulation the named artefacts need; returns the number
+    executed (0 when the cache was already fully warm)."""
+    if jobs < 1:
+        raise ConfigError("jobs must be >= 1")
+    stage1 = [job for name in names
+              for job in smt_jobs_for(name, scale, cache.config)]
+    executed = run_jobs(stage1, cache, max_workers=jobs)
+    stage2 = [job for name in names
+              for job in followup_jobs_for(name, scale, cache)]
+    executed += run_jobs(stage2, cache, max_workers=jobs)
+    return executed

@@ -4,13 +4,22 @@
 ablations) into a directory, one text file per artefact plus a combined
 REPORT.md — the programmatic equivalent of running the whole benchmark
 suite, without pytest.  Exposed on the CLI as ``repro-sim reproduce``.
+
+Execution is split into two phases: the union of every selected artefact's
+simulation jobs is collected and executed first — deduplicated, optionally
+fanned out over ``jobs`` worker processes, and optionally persisted under a
+``cache_dir`` (see :mod:`repro.experiments.parallel`) — then the artefacts
+are rendered from the warm cache.  Rendering is deterministic given the
+cached results, so ``jobs=N`` produces byte-identical artefact text to
+``jobs=1``, and a second invocation against a warm cache directory skips
+simulation entirely.
 """
 
 from __future__ import annotations
 
 import time
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from repro.experiments import (
     format_figure1, format_figure2, format_figure3, format_figure4,
@@ -18,9 +27,17 @@ from repro.experiments import (
     run_figure1, run_figure2, run_figure3, run_figure4,
     run_figure5, run_figure6, run_figure7, run_figure8,
 )
+from repro.experiments.parallel import RESOURCE_SWEEP, prewarm_artefacts
 from repro.experiments.runner import ExperimentScale, ResultCache
 from repro.experiments.sensitivity import format_sweep, run_resource_sweep
 from repro.experiments.smt_tradeoff import format_smt_tradeoff, run_smt_tradeoff
+
+
+def _resource_scaling(scale: ExperimentScale, cache: ResultCache) -> str:
+    resource, sizes, workload = RESOURCE_SWEEP
+    return format_sweep(run_resource_sweep(resource, sizes, workload=workload,
+                                           scale=scale, cache=cache))
+
 
 #: Artefact name -> callable(scale, cache) -> rendered text.
 ARTEFACTS: Dict[str, Callable[[ExperimentScale, ResultCache], str]] = {
@@ -35,18 +52,24 @@ ARTEFACTS: Dict[str, Callable[[ExperimentScale, ResultCache], str]] = {
     "fig8_fairness": lambda s, c: format_figure8(run_figure8(s, c)),
     "smt_vs_superscalar":
         lambda s, c: format_smt_tradeoff(run_smt_tradeoff(s, c)),
-    "resource_scaling": lambda s, c: format_sweep(
-        run_resource_sweep("rob", (24, 48, 96, 192), workload="4-CPU-A",
-                           scale=s)),
+    "resource_scaling": _resource_scaling,
 }
 
 
 def run_all(out_dir: Path, scale: Optional[ExperimentScale] = None,
             only: Optional[List[str]] = None,
-            progress: Optional[Callable[[str, float], None]] = None) -> Path:
-    """Render every artefact into ``out_dir``; returns the REPORT.md path."""
+            progress: Optional[Callable[[str, float], None]] = None,
+            jobs: int = 1,
+            cache: Optional[ResultCache] = None,
+            cache_dir: Optional[Union[str, Path]] = None) -> Path:
+    """Render every artefact into ``out_dir``; returns the REPORT.md path.
+
+    ``jobs`` is the number of simulation worker processes; ``cache_dir``
+    (or a pre-built ``cache``) enables the persistent on-disk result cache.
+    """
     scale = scale or ExperimentScale.from_env()
-    cache = ResultCache()
+    if cache is None:
+        cache = ResultCache(cache_dir=cache_dir)
     out_dir = Path(out_dir)
     out_dir.mkdir(parents=True, exist_ok=True)
 
@@ -54,6 +77,8 @@ def run_all(out_dir: Path, scale: Optional[ExperimentScale] = None,
         (name, fn) for name, fn in ARTEFACTS.items()
         if only is None or name in only
     ]
+    prewarm_artefacts([name for name, _ in selected], scale, cache, jobs=jobs)
+
     report = [
         "# Reproduction report",
         "",

@@ -1,21 +1,41 @@
-"""Shared experiment plumbing: scaling, run caching, workload averaging."""
+"""Shared experiment plumbing: scaling, run caching, workload averaging.
+
+The :class:`ResultCache` is the single funnel every experiment's
+simulations go through.  It memoises in memory (so figures sharing runs —
+1↔2, 6↔7↔8 — never repeat them within a process) and, when given a
+``cache_dir``, persists every :class:`SimResult` to disk keyed by a stable
+content hash of the full (machine config, sim config, workload, policy)
+tuple, so repeated CLI invocations skip simulation entirely.  Entries carry
+a schema version; stale or corrupt files are invalidated (deleted and
+recomputed), never misread.
+"""
 
 from __future__ import annotations
 
+import hashlib
+import json
 import os
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.avf.structures import Structure
 from repro.config import DEFAULT_CONFIG, MachineConfig, SimConfig
+from repro.errors import ConfigError
 from repro.sim.results import SimResult
-from repro.sim.simulator import simulate, simulate_single_thread
+from repro.sim.simulator import simulate
 from repro.workload.mixes import WorkloadMix, mixes_for
 
 #: Environment knob for benchmark runs: per-thread instruction budget.
 SCALE_ENV_VAR = "REPRO_SCALE"
 
 MIX_TYPES = ("CPU", "MIX", "MEM")
+
+#: Version of the on-disk cache entry layout.  Bump whenever the
+#: :meth:`SimResult.to_payload` schema (or anything the simulator measures)
+#: changes: readers drop entries whose recorded schema differs, so stale
+#: results are re-simulated instead of misread.
+CACHE_SCHEMA_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -27,9 +47,25 @@ class ExperimentScale:
 
     @classmethod
     def from_env(cls) -> "ExperimentScale":
-        """Scale from ``REPRO_SCALE`` (per-thread instructions), default 2500."""
+        """Scale from ``REPRO_SCALE`` (per-thread instructions), default 2500.
+
+        Raises :class:`ConfigError` for non-integer or non-positive values —
+        a zero/negative budget would silently produce empty runs.
+        """
         raw = os.environ.get(SCALE_ENV_VAR)
-        return cls(instructions_per_thread=int(raw) if raw else 2500)
+        if raw is None or not raw.strip():
+            return cls()
+        try:
+            value = int(raw)
+        except ValueError:
+            raise ConfigError(
+                f"{SCALE_ENV_VAR} must be an integer instruction count, "
+                f"got {raw!r}") from None
+        if value <= 0:
+            raise ConfigError(
+                f"{SCALE_ENV_VAR} must be a positive instruction count, "
+                f"got {value}")
+        return cls(instructions_per_thread=value)
 
     def sim_config(self, num_threads: int) -> SimConfig:
         return SimConfig(
@@ -38,34 +74,165 @@ class ExperimentScale:
         )
 
 
-class ResultCache:
-    """Memoises simulations so figures sharing runs do not repeat them."""
+WorkloadLike = Union[WorkloadMix, Sequence[str]]
 
-    def __init__(self, config: Optional[MachineConfig] = None) -> None:
+
+def workload_label(workload: WorkloadLike) -> str:
+    """The name a :func:`simulate` run records for this workload."""
+    if isinstance(workload, WorkloadMix):
+        return workload.name
+    return "+".join(workload)
+
+
+def workload_programs(workload: WorkloadLike) -> Tuple[str, ...]:
+    if isinstance(workload, WorkloadMix):
+        return workload.programs
+    return tuple(workload)
+
+
+def job_key(config: MachineConfig, sim: SimConfig,
+            workload: WorkloadLike, policy: str) -> Dict[str, object]:
+    """Canonical identity of one simulation, as a JSON-safe dict.
+
+    Covers every input that can change the result: the complete machine
+    configuration, the complete sim configuration (including the seed), the
+    workload label and program list, and the fetch policy.
+    """
+    return {
+        "workload": workload_label(workload),
+        "programs": list(workload_programs(workload)),
+        "policy": policy,
+        "machine": asdict(config),
+        "sim": asdict(sim),
+    }
+
+
+def stable_digest(payload: Dict[str, object]) -> str:
+    """Content hash of a JSON-safe dict, stable across processes/sessions."""
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Memoises simulations in memory and, optionally, on disk.
+
+    Within a process, identical runs return the same :class:`SimResult`
+    object.  With ``cache_dir`` set, results are also persisted as one JSON
+    file per run under ``<cache_dir>/<digest>.json`` and reused by later
+    processes — ``repro-sim reproduce --cache-dir`` makes artefact
+    regeneration near-instant on the second invocation.
+
+    Counters: ``simulated`` (runs actually executed through this cache),
+    ``mem_hits`` and ``disk_hits``.
+    """
+
+    def __init__(self, config: Optional[MachineConfig] = None,
+                 cache_dir: Optional[Union[str, Path]] = None) -> None:
         self.config = config or DEFAULT_CONFIG
-        self._smt: Dict[Tuple, SimResult] = {}
-        self._st: Dict[Tuple, SimResult] = {}
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        if self.cache_dir is not None:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+        self._mem: Dict[str, SimResult] = {}
+        self.simulated = 0
+        self.mem_hits = 0
+        self.disk_hits = 0
+
+    # -- cached entry points -------------------------------------------------------
+
+    def run(self, workload: WorkloadLike, policy: str = "ICOUNT",
+            sim: Optional[SimConfig] = None,
+            config: Optional[MachineConfig] = None) -> SimResult:
+        """Cached :func:`simulate` with an arbitrary machine/sim config."""
+        config = config or self.config
+        sim = sim or SimConfig()
+        digest = stable_digest(job_key(config, sim, workload, policy))
+        hit = self.get(digest)
+        if hit is not None:
+            return hit
+        result = simulate(workload, policy=policy, config=config, sim=sim)
+        self.simulated += 1
+        self.put(digest, result)
+        return result
 
     def smt(self, mix: WorkloadMix, policy: str, scale: ExperimentScale) -> SimResult:
-        key = (mix.name, policy, scale.instructions_per_thread, scale.seed)
-        if key not in self._smt:
-            self._smt[key] = simulate(mix, policy=policy, config=self.config,
-                                      sim=scale.sim_config(mix.num_threads))
-        return self._smt[key]
+        return self.run(mix, policy=policy, sim=scale.sim_config(mix.num_threads))
 
     def single_thread(self, program: str, instructions: int,
                       scale: ExperimentScale) -> SimResult:
         """Standalone (superscalar) run committing exactly ``instructions``."""
-        key = (program, instructions, scale.seed)
-        if key not in self._st:
-            self._st[key] = simulate_single_thread(
-                program, instructions, config=self.config, seed=scale.seed
-            )
-        return self._st[key]
+        return self.run([program], policy="ICOUNT",
+                        sim=SimConfig(max_instructions=instructions,
+                                      seed=scale.seed))
+
+    # -- store ---------------------------------------------------------------------
+
+    def get(self, digest: str) -> Optional[SimResult]:
+        """Memory-then-disk lookup; None on miss."""
+        hit = self._mem.get(digest)
+        if hit is not None:
+            self.mem_hits += 1
+            return hit
+        result = self._load(digest)
+        if result is not None:
+            self.disk_hits += 1
+            self._mem[digest] = result
+        return result
+
+    def put(self, digest: str, result: SimResult) -> None:
+        """Insert a finished run (memory always; disk when configured).
+
+        Runs carrying a phase series stay memory-only: the series is not
+        part of the serialization schema (see ``SimResult.to_payload``).
+        """
+        self._mem[digest] = result
+        if self.cache_dir is not None and result.phase_series is None:
+            self._store(digest, result)
 
     def clear(self) -> None:
-        self._smt.clear()
-        self._st.clear()
+        """Drop the in-memory memo (on-disk entries are left alone)."""
+        self._mem.clear()
+
+    # -- disk layer ----------------------------------------------------------------
+
+    def _path(self, digest: str) -> Path:
+        return self.cache_dir / f"{digest}.json"
+
+    def _load(self, digest: str) -> Optional[SimResult]:
+        if self.cache_dir is None:
+            return None
+        path = self._path(digest)
+        try:
+            entry = json.loads(path.read_text())
+        except OSError:
+            return None
+        except ValueError:
+            self._invalidate(path)
+            return None
+        if not isinstance(entry, dict) or entry.get("schema") != CACHE_SCHEMA_VERSION:
+            self._invalidate(path)
+            return None
+        try:
+            return SimResult.from_payload(entry["result"])
+        except (KeyError, TypeError, ValueError):
+            self._invalidate(path)
+            return None
+
+    def _store(self, digest: str, result: SimResult) -> None:
+        path = self._path(digest)
+        entry = {"schema": CACHE_SCHEMA_VERSION, "result": result.to_payload()}
+        # Write-then-rename so concurrent writers (parallel reproduce runs
+        # sharing a cache dir) never expose a half-written entry.
+        tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
+        tmp.write_text(json.dumps(entry, sort_keys=True))
+        os.replace(tmp, path)
+
+    @staticmethod
+    def _invalidate(path: Path) -> None:
+        """Delete a stale/corrupt entry so it cannot be misread later."""
+        try:
+            path.unlink()
+        except OSError:
+            pass
 
 
 #: Process-wide cache shared by all figure modules (and hence by the

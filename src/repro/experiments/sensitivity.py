@@ -25,7 +25,7 @@ from repro.avf.structures import Structure
 from repro.config import DEFAULT_CONFIG, MachineConfig, SimConfig
 from repro.errors import ConfigError
 from repro.experiments.formatting import render_table
-from repro.experiments.runner import ExperimentScale
+from repro.experiments.runner import ExperimentScale, ResultCache
 from repro.sim.simulator import simulate
 from repro.workload.mixes import WorkloadMix, get_mix
 
@@ -70,8 +70,14 @@ def run_resource_sweep(resource: str,
                        sizes: Sequence[int],
                        workload: Union[str, WorkloadMix] = "4-MIX-A",
                        scale: Optional[ExperimentScale] = None,
-                       policy: str = "ICOUNT") -> SweepData:
-    """Scale one resource over ``sizes`` and measure IPC and exposure."""
+                       policy: str = "ICOUNT",
+                       cache: Optional[ResultCache] = None) -> SweepData:
+    """Scale one resource over ``sizes`` and measure IPC and exposure.
+
+    With ``cache`` given, each size step's run goes through the result
+    cache (keyed by the overridden machine config), so repeated sweeps —
+    and the ``reproduce`` driver's parallel prewarm — reuse the runs.
+    """
     if resource not in SWEEPABLE:
         raise ConfigError(f"unknown resource {resource!r}; "
                           f"known: {sorted(SWEEPABLE)}")
@@ -82,15 +88,17 @@ def run_resource_sweep(resource: str,
     fields, structure = SWEEPABLE[resource]
 
     data = SweepData(resource=resource, workload=mix.name, structure=structure)
+    base_config = cache.config if cache is not None else DEFAULT_CONFIG
     for size in sizes:
-        config = DEFAULT_CONFIG.with_overrides(**{f: size for f in fields})
-        result = simulate(
-            mix, policy=policy, config=config,
-            sim=SimConfig(
-                max_instructions=scale.instructions_per_thread * mix.num_threads,
-                seed=scale.seed,
-            ),
+        config = base_config.with_overrides(**{f: size for f in fields})
+        sim = SimConfig(
+            max_instructions=scale.instructions_per_thread * mix.num_threads,
+            seed=scale.seed,
         )
+        if cache is not None:
+            result = cache.run(mix, policy=policy, sim=sim, config=config)
+        else:
+            result = simulate(mix, policy=policy, config=config, sim=sim)
         avf = result.avf.avf[structure]
         bits = structure_bits(structure, config, mix.num_threads)
         data.points.append(SweepPoint(size=size, ipc=result.ipc, avf=avf,

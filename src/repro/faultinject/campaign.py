@@ -2,9 +2,14 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import hashlib
+import json
+import os
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import asdict, dataclass, field, replace
 from enum import Enum, auto
-from typing import Dict, List, Optional, Sequence, Union
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -27,6 +32,11 @@ class InjectionOutcome(Enum):
     MASKED_IDLE = auto()
     MASKED_UNACE = auto()
     SDC = auto()
+
+
+#: Version of the on-disk campaign-result layout; entries recorded under a
+#: different schema are re-run rather than misread.
+CAMPAIGN_SCHEMA_VERSION = 1
 
 
 @dataclass
@@ -68,8 +78,11 @@ class InjectionCampaignResult:
         for s, c in self.structures.items():
             idle = c.outcomes.get(InjectionOutcome.MASKED_IDLE, 0)
             unace = c.outcomes.get(InjectionOutcome.MASKED_UNACE, 0)
+            # Zero-strike campaigns print an all-zero row (same guard as
+            # sdc_rate) instead of dividing by zero.
+            denom = c.injections or 1
             lines.append(f"{s.value:<10} {c.reported_avf:8.4f} {c.sdc_rate:9.4f} "
-                         f"{idle / c.injections:7.3f} {unace / c.injections:7.3f}")
+                         f"{idle / denom:7.3f} {unace / denom:7.3f}")
         return "\n".join(lines)
 
 
@@ -99,37 +112,141 @@ def _occupancy_timelines(accounts: Sequence[VulnerabilityAccount],
     return np.cumsum(ace_diff)[:cycles], np.cumsum(occ_diff)[:cycles]
 
 
+def _campaign_sim(base_sim: SimConfig) -> SimConfig:
+    """The campaign's run config: the caller's, plus interval recording.
+
+    ``dataclasses.replace`` carries every field over — a hand-rolled
+    field-by-field copy silently dropped anything it did not name (it lost
+    ``phase_window_cycles``, and would have lost every future field).
+    """
+    return replace(base_sim, record_intervals=True)
+
+
+# -- persistent campaign cache ---------------------------------------------------
+
+
+def _campaign_digest(key: Dict[str, object]) -> str:
+    blob = json.dumps(key, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def _campaign_payload(result: InjectionCampaignResult) -> Dict[str, object]:
+    return {
+        "workload": result.workload,
+        "cycles": result.cycles,
+        "injections_per_structure": result.injections_per_structure,
+        # A list, not a dict keyed by structure: the summary prints
+        # structures in campaign order, which sort_keys would destroy.
+        "structures": [
+            {
+                "structure": s.value,
+                "injections": c.injections,
+                "reported_avf": c.reported_avf,
+                "outcomes": {o.name: n for o, n in c.outcomes.items()},
+            }
+            for s, c in result.structures.items()
+        ],
+    }
+
+
+def _campaign_from_payload(payload: Dict[str, object]) -> InjectionCampaignResult:
+    result = InjectionCampaignResult(
+        workload=str(payload["workload"]),
+        cycles=int(payload["cycles"]),
+        injections_per_structure=int(payload["injections_per_structure"]),
+    )
+    for entry in payload["structures"]:
+        structure = Structure(entry["structure"])
+        result.structures[structure] = StructureCampaign(
+            structure=structure,
+            injections=int(entry["injections"]),
+            reported_avf=float(entry["reported_avf"]),
+            outcomes={InjectionOutcome[o]: int(n)
+                      for o, n in entry["outcomes"].items()},
+        )
+    return result
+
+
+def _load_campaign(path: Path) -> Optional[InjectionCampaignResult]:
+    try:
+        entry = json.loads(path.read_text())
+    except OSError:
+        return None
+    except ValueError:
+        entry = None
+    if (not isinstance(entry, dict)
+            or entry.get("schema") != CAMPAIGN_SCHEMA_VERSION):
+        try:
+            path.unlink()  # stale/corrupt: invalidate, never misread
+        except OSError:
+            pass
+        return None
+    return _campaign_from_payload(entry["result"])
+
+
+def _store_campaign(path: Path, result: InjectionCampaignResult) -> None:
+    entry = {"schema": CAMPAIGN_SCHEMA_VERSION,
+             "result": _campaign_payload(result)}
+    tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
+    tmp.write_text(json.dumps(entry, sort_keys=True))
+    os.replace(tmp, path)
+
+
 def run_campaign(workload: Union[WorkloadMix, Sequence[str]],
                  injections: int = 2000,
                  structures: Sequence[Structure] = INJECTABLE,
                  policy: Union[str, FetchPolicy] = "ICOUNT",
                  config: Optional[MachineConfig] = None,
                  sim: Optional[SimConfig] = None,
-                 seed: int = 42) -> InjectionCampaignResult:
+                 seed: int = 42,
+                 jobs: int = 1,
+                 cache_dir: Optional[Union[str, Path]] = None) -> InjectionCampaignResult:
     """Run one simulation, then bombard it with random transient strikes.
 
     Each injection picks a uniformly random (cycle, entry slot) point in the
     structure and classifies the strike by what the reconstructed occupancy
     timeline says lived there.  Entries are interchangeable, so sampling a
     slot index against the per-cycle counts is exact.
+
+    ``jobs`` bounds the worker threads reconstructing the per-structure
+    occupancy timelines (they are independent once the run finishes);
+    ``cache_dir`` persists the campaign result keyed by a content hash of
+    every input, so repeating an identical campaign is instant.
     """
     config = config or DEFAULT_CONFIG
     base_sim = sim or SimConfig(max_instructions=4000)
-    run_sim = SimConfig(
-        max_instructions=base_sim.max_instructions,
-        max_cycles=base_sim.max_cycles,
-        warmup_instructions=base_sim.warmup_instructions,
-        functional_warmup=base_sim.functional_warmup,
-        seed=base_sim.seed,
-        record_intervals=True,
-    )
+    run_sim = _campaign_sim(base_sim)
     unsupported = [s for s in structures if s not in INJECTABLE]
     if unsupported:
         raise ReproError(f"cannot inject into {unsupported}; "
                          f"supported: {list(INJECTABLE)}")
+    if jobs < 1:
+        raise ReproError("jobs must be >= 1")
+
+    policy_obj = create_policy(policy) if isinstance(policy, str) else policy
+    name = workload.name if isinstance(workload, WorkloadMix) else "+".join(workload)
+
+    cache_path: Optional[Path] = None
+    if cache_dir is not None:
+        key = {
+            "workload": name,
+            "programs": list(workload.programs if isinstance(workload, WorkloadMix)
+                             else workload),
+            "policy": policy_obj.name,
+            "machine": asdict(config),
+            "sim": asdict(run_sim),
+            "injections": injections,
+            "structures": [s.value for s in structures],
+            "seed": seed,
+        }
+        cache_root = Path(cache_dir)
+        cache_root.mkdir(parents=True, exist_ok=True)
+        cache_path = cache_root / f"campaign-{_campaign_digest(key)}.json"
+        cached = _load_campaign(cache_path)
+        if cached is not None:
+            return cached
 
     traces = build_traces(workload, run_sim)
-    policy_obj = create_policy(policy) if isinstance(policy, str) else policy
     core = SMTCore(traces, config, policy_obj, run_sim)
     if run_sim.functional_warmup:
         _functional_warmup(core, traces)
@@ -137,9 +254,12 @@ def run_campaign(workload: Union[WorkloadMix, Sequence[str]],
     report = core.engine.report(cycles)
 
     rng = np.random.Generator(np.random.PCG64(seed))
-    name = workload.name if isinstance(workload, WorkloadMix) else "+".join(workload)
     result = InjectionCampaignResult(workload=name, cycles=cycles,
                                      injections_per_structure=injections)
+    # Draw every structure's strikes first, in structure order, so the RNG
+    # stream (and hence the outcome counts) is independent of how the
+    # classification below is scheduled.
+    strikes: Dict[Structure, Tuple[np.ndarray, np.ndarray, List, int]] = {}
     for structure in structures:
         if structure in SHARED_STRUCTURES:
             accounts = [core.engine.account(structure)]
@@ -148,18 +268,37 @@ def run_campaign(workload: Union[WorkloadMix, Sequence[str]],
             accounts = [core.engine.account(structure, tid)
                         for tid in range(core.num_threads)]
             capacity = accounts[0].capacity * core.num_threads
-        ace_at, occ_at = _occupancy_timelines(accounts, cycles)
-        campaign = StructureCampaign(structure=structure, injections=injections,
-                                     reported_avf=report.avf[structure])
         strike_cycles = rng.integers(0, cycles, size=injections)
         strike_slots = rng.integers(0, capacity, size=injections)
-        for c, slot in zip(strike_cycles, strike_slots):
-            if slot < ace_at[c]:
-                outcome = InjectionOutcome.SDC
-            elif slot < occ_at[c]:
-                outcome = InjectionOutcome.MASKED_UNACE
-            else:
-                outcome = InjectionOutcome.MASKED_IDLE
-            campaign.outcomes[outcome] = campaign.outcomes.get(outcome, 0) + 1
+        strikes[structure] = (strike_cycles, strike_slots, accounts, capacity)
+
+    def classify(structure: Structure) -> StructureCampaign:
+        strike_cycles, strike_slots, accounts, _capacity = strikes[structure]
+        ace_at, occ_at = _occupancy_timelines(accounts, cycles)
+        # A strike below the ACE count corrupts; below the occupancy count it
+        # lands in an un-ACE entry; otherwise the slot was idle.  ACE
+        # intervals are a subset of occupancy, so the counts nest exactly as
+        # the per-strike if/elif chain would classify them.
+        sdc = int(np.count_nonzero(strike_slots < ace_at[strike_cycles]))
+        occupied = int(np.count_nonzero(strike_slots < occ_at[strike_cycles]))
+        campaign = StructureCampaign(structure=structure, injections=injections,
+                                     reported_avf=report.avf[structure])
+        for outcome, count in ((InjectionOutcome.SDC, sdc),
+                               (InjectionOutcome.MASKED_UNACE, occupied - sdc),
+                               (InjectionOutcome.MASKED_IDLE,
+                                injections - occupied)):
+            if count:
+                campaign.outcomes[outcome] = count
+        return campaign
+
+    if jobs == 1 or len(strikes) <= 1:
+        campaigns = [classify(s) for s in structures]
+    else:
+        with ThreadPoolExecutor(max_workers=min(jobs, len(strikes))) as pool:
+            campaigns = list(pool.map(classify, structures))
+    for structure, campaign in zip(structures, campaigns):
         result.structures[structure] = campaign
+
+    if cache_path is not None:
+        _store_campaign(cache_path, result)
     return result

@@ -22,6 +22,30 @@ class ThreadResult:
     wrong_path_fetched: int
     branch_mispredict_rate: float
 
+    def to_payload(self) -> Dict[str, object]:
+        """JSON-safe dict; inverse of :meth:`from_payload`."""
+        return {
+            "thread_id": self.thread_id,
+            "program": self.program,
+            "committed": self.committed,
+            "ipc": self.ipc,
+            "fetched": self.fetched,
+            "wrong_path_fetched": self.wrong_path_fetched,
+            "branch_mispredict_rate": self.branch_mispredict_rate,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, object]) -> "ThreadResult":
+        return cls(
+            thread_id=int(payload["thread_id"]),
+            program=str(payload["program"]),
+            committed=int(payload["committed"]),
+            ipc=float(payload["ipc"]),
+            fetched=int(payload["fetched"]),
+            wrong_path_fetched=int(payload["wrong_path_fetched"]),
+            branch_mispredict_rate=float(payload["branch_mispredict_rate"]),
+        )
+
 
 @dataclass
 class SimResult:
@@ -44,6 +68,52 @@ class SimResult:
     phase_series: object = None
     """A :class:`repro.avf.phases.PhaseSeries` when the run was configured
     with ``SimConfig(phase_window_cycles > 0)``, else None."""
+
+    def to_payload(self) -> Dict[str, object]:
+        """JSON-safe dict for the on-disk result cache.
+
+        ``phase_series`` is deliberately not serialized: cached experiment
+        runs never enable phase tracking, and the series is unbounded in
+        size.  :meth:`from_payload` restores it as ``None``.
+        """
+        return {
+            "workload": self.workload,
+            "policy": self.policy,
+            "num_threads": self.num_threads,
+            "cycles": self.cycles,
+            "committed": self.committed,
+            "ipc": self.ipc,
+            "threads": [t.to_payload() for t in self.threads],
+            "avf": self.avf.to_payload(),
+            "dl1_miss_rate": self.dl1_miss_rate,
+            "l2_miss_rate": self.l2_miss_rate,
+            "il1_miss_rate": self.il1_miss_rate,
+            "dtlb_miss_rate": self.dtlb_miss_rate,
+            "mispredict_squashes": self.mispredict_squashes,
+            "extra": dict(self.extra),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, object]) -> "SimResult":
+        """Inverse of :meth:`to_payload`."""
+        return cls(
+            workload=str(payload["workload"]),
+            policy=str(payload["policy"]),
+            num_threads=int(payload["num_threads"]),
+            cycles=int(payload["cycles"]),
+            committed=int(payload["committed"]),
+            ipc=float(payload["ipc"]),
+            threads=[ThreadResult.from_payload(t) for t in payload["threads"]],
+            avf=AvfReport.from_payload(payload["avf"]),
+            dl1_miss_rate=float(payload["dl1_miss_rate"]),
+            l2_miss_rate=float(payload["l2_miss_rate"]),
+            il1_miss_rate=float(payload["il1_miss_rate"]),
+            dtlb_miss_rate=float(payload["dtlb_miss_rate"]),
+            mispredict_squashes=int(payload["mispredict_squashes"]),
+            extra={str(k): float(v)
+                   for k, v in dict(payload.get("extra", {})).items()},
+            phase_series=None,
+        )
 
     def thread_ipcs(self) -> Tuple[float, ...]:
         return tuple(t.ipc for t in self.threads)

@@ -5,7 +5,7 @@ from __future__ import annotations
 from typing import List, Optional, Sequence, Union
 
 from repro.config import DEFAULT_CONFIG, MachineConfig, SimConfig
-from repro.errors import WorkloadError
+from repro.errors import SimulationError, WorkloadError
 from repro.fetch.base import FetchPolicy
 from repro.fetch.registry import create_policy
 from repro.isa.opcodes import OpClass
@@ -136,6 +136,10 @@ def simulate_single_thread(program: str, instructions: int,
 
 def _package(core: SMTCore, workload: WorkloadSpec, names: List[str],
              policy: FetchPolicy, cycles: int) -> SimResult:
+    if cycles <= 0:
+        raise SimulationError(
+            f"simulation finished after {cycles} cycles; a degenerate run "
+            "has no IPC (did the instruction budget round down to zero?)")
     threads = []
     for t in core.threads:
         committed = core.committed_in_window(t.id)

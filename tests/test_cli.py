@@ -69,3 +69,63 @@ class TestParser:
         args = build_parser().parse_args(["figure", "3", "--scale", "500"])
         assert args.number == 3
         assert args.scale == 500
+
+
+class TestCacheFlags:
+    """--jobs/--cache-dir/--no-cache on reproduce, figure and inject."""
+
+    def test_reproduce_parallel_with_cache(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "250")
+        argv = ["reproduce", "--only", "fig1_avf_profile", "--scale", "250",
+                "--jobs", "2", "--cache-dir", str(tmp_path / "cache"),
+                "--out", str(tmp_path / "run1")]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "simulated 6 runs (0 loaded from cache)" in first
+
+        argv[-1] = str(tmp_path / "run2")
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "simulated 0 runs (6 loaded from cache)" in second
+        assert ((tmp_path / "run1" / "fig1_avf_profile.txt").read_bytes()
+                == (tmp_path / "run2" / "fig1_avf_profile.txt").read_bytes())
+
+    def test_no_cache_ignores_cache_dir(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "250")
+        assert main(["reproduce", "--only", "fig1_avf_profile",
+                     "--scale", "250", "--cache-dir", str(tmp_path / "cache"),
+                     "--no-cache", "--out", str(tmp_path / "out")]) == 0
+        capsys.readouterr()
+        assert not (tmp_path / "cache").exists()
+
+    def test_rejects_zero_jobs(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "250")
+        assert main(["reproduce", "--only", "fig1_avf_profile",
+                     "--scale", "250", "--jobs", "0",
+                     "--out", str(tmp_path / "out")]) == 2
+        assert "--jobs" in capsys.readouterr().err
+
+    def test_figure_uses_cache_dir(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "250")
+        assert main(["figure", "1", "--scale", "250",
+                     "--cache-dir", str(tmp_path / "cache")]) == 0
+        assert "Figure 1" in capsys.readouterr().out
+        assert list((tmp_path / "cache").glob("*.json"))
+
+    def test_inject_cache_dir_round_trip(self, capsys, tmp_path):
+        argv = ["inject", "2-CPU-A", "--strikes", "200", "-n", "300",
+                "--jobs", "2", "--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert list(tmp_path.glob("campaign-*.json"))
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first
+
+
+class TestZeroStrikeInject:
+    def test_inject_zero_strikes_does_not_crash(self, capsys):
+        """Regression: the summary's idle/un-ACE columns divided by zero."""
+        assert main(["inject", "2-CPU-A", "--strikes", "0", "-n", "300"]) == 0
+        out = capsys.readouterr().out
+        assert "0 strikes/structure" in out
+        assert "SDC rate" in out

@@ -67,6 +67,29 @@ class TestRunner:
         monkeypatch.delenv("REPRO_SCALE")
         assert ExperimentScale.from_env().instructions_per_thread == 2500
 
+    def test_scale_from_env_blank_is_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "  ")
+        assert ExperimentScale.from_env().instructions_per_thread == 2500
+
+    @pytest.mark.parametrize("raw", ["abc", "12.5", "", " zero "])
+    def test_scale_from_env_rejects_non_integer(self, monkeypatch, raw):
+        from repro.errors import ConfigError
+
+        monkeypatch.setenv("REPRO_SCALE", raw)
+        if not raw.strip():
+            assert ExperimentScale.from_env().instructions_per_thread == 2500
+        else:
+            with pytest.raises(ConfigError):
+                ExperimentScale.from_env()
+
+    @pytest.mark.parametrize("raw", ["0", "-5"])
+    def test_scale_from_env_rejects_non_positive(self, monkeypatch, raw):
+        from repro.errors import ConfigError
+
+        monkeypatch.setenv("REPRO_SCALE", raw)
+        with pytest.raises(ConfigError):
+            ExperimentScale.from_env()
+
 
 class TestFormatting:
     def test_render_table_alignment(self):
@@ -93,11 +116,11 @@ class TestFigureRunners:
         assert "Figure 1" in text and "IQ" in text
 
     def test_figure2_shares_runs_with_figure1(self, cache):
-        before = len(cache._smt)
+        before = cache.simulated
         run_figure1(scale=TINY, cache=cache)
-        mid = len(cache._smt)
+        mid = cache.simulated
         run_figure2(scale=TINY, cache=cache)
-        assert len(cache._smt) == mid  # no new simulations
+        assert cache.simulated == mid  # no new simulations
         assert mid >= before
 
     def test_figure2(self, cache):

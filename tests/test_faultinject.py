@@ -87,3 +87,70 @@ class TestCampaign:
     def test_idle_strikes_happen(self, campaign):
         fu = campaign.structures[Structure.FU]
         assert fu.outcomes.get(InjectionOutcome.MASKED_IDLE, 0) > 0
+
+
+class TestCampaignSimConfig:
+    def test_campaign_sim_preserves_every_field(self):
+        """Regression: the old hand-rolled copy dropped fields it did not
+        name (phase_window_cycles among them)."""
+        from dataclasses import asdict
+
+        from repro.faultinject.campaign import _campaign_sim
+
+        base = SimConfig(max_instructions=1234, warmup_instructions=7,
+                         seed=99, phase_window_cycles=250,
+                         functional_warmup=False)
+        run_sim = _campaign_sim(base)
+        expected = asdict(base)
+        expected["record_intervals"] = True
+        assert asdict(run_sim) == expected
+
+
+class TestZeroStrikeCampaign:
+    def test_zero_strikes_summary_renders(self):
+        """Regression: the summary divided by c.injections unguarded."""
+        result = run_campaign(get_mix("2-CPU-A"), injections=0,
+                              sim=SimConfig(max_instructions=400),
+                              structures=(Structure.IQ, Structure.ROB))
+        text = result.summary()
+        assert "0 strikes/structure" in text
+        for c in result.structures.values():
+            assert c.injections == 0
+            assert c.sdc_rate == 0.0
+            assert not c.outcomes
+
+
+class TestCampaignCacheAndJobs:
+    KW = dict(injections=400, sim=SimConfig(max_instructions=800), seed=5)
+
+    def test_jobs_does_not_change_outcomes(self):
+        serial = run_campaign(get_mix("2-CPU-A"), jobs=1, **self.KW)
+        threaded = run_campaign(get_mix("2-CPU-A"), jobs=4, **self.KW)
+        assert serial.summary() == threaded.summary()
+        for s, c in serial.structures.items():
+            assert threaded.structures[s].outcomes == c.outcomes
+
+    def test_rejects_bad_jobs(self):
+        with pytest.raises(ReproError):
+            run_campaign(get_mix("2-CPU-A"), jobs=0, **self.KW)
+
+    def test_disk_cache_round_trip(self, tmp_path):
+        first = run_campaign(get_mix("2-CPU-A"), cache_dir=tmp_path, **self.KW)
+        assert len(list(tmp_path.glob("campaign-*.json"))) == 1
+        cached = run_campaign(get_mix("2-CPU-A"), cache_dir=tmp_path, **self.KW)
+        assert cached.summary() == first.summary()
+        assert list(cached.structures) == list(first.structures)
+
+    def test_schema_mismatch_reruns(self, tmp_path):
+        import json
+
+        from repro.faultinject.campaign import CAMPAIGN_SCHEMA_VERSION
+
+        run_campaign(get_mix("2-CPU-A"), cache_dir=tmp_path, **self.KW)
+        (path,) = tmp_path.glob("campaign-*.json")
+        entry = json.loads(path.read_text())
+        entry["schema"] = CAMPAIGN_SCHEMA_VERSION + 1
+        path.write_text(json.dumps(entry))
+        again = run_campaign(get_mix("2-CPU-A"), cache_dir=tmp_path, **self.KW)
+        assert json.loads(path.read_text())["schema"] == CAMPAIGN_SCHEMA_VERSION
+        assert sum(again.structures[Structure.IQ].outcomes.values()) == 400

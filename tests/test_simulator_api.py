@@ -96,3 +96,24 @@ class TestSingleThread:
         warm = simulate(get_mix("2-CPU-A"),
                         sim=SimConfig(max_instructions=300))
         assert cold.cycles > warm.cycles  # cold-start is strictly slower
+
+
+class TestDegenerateRuns:
+    def test_package_rejects_zero_cycles(self):
+        """Regression: _package divided by cycles unguarded, so a degenerate
+        zero-cycle run crashed with ZeroDivisionError instead of a
+        diagnosable ReproError."""
+        from repro.errors import ReproError, SimulationError
+        from repro.sim.simulator import _package
+
+        with pytest.raises(SimulationError) as excinfo:
+            _package(None, ["bzip2"], ["bzip2"], None, 0)
+        assert isinstance(excinfo.value, ReproError)
+        assert "0 cycles" in str(excinfo.value)
+
+    def test_package_rejects_negative_cycles(self):
+        from repro.errors import SimulationError
+        from repro.sim.simulator import _package
+
+        with pytest.raises(SimulationError):
+            _package(None, ["bzip2"], ["bzip2"], None, -3)
