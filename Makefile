@@ -21,14 +21,18 @@ bench:
 reproduce:
 	$(PYTHON) -m repro.cli reproduce --out reproduction
 
-# Parallel-runner + result-cache smoke test: the second run must simulate
-# nothing (served from the warm cache) and render byte-identical output.
+# Parallel-runner + result-cache smoke test with runtime auditing: every
+# simulation checks its conservation invariants every 64 cycles, the second
+# run must simulate nothing (served from the warm cache) and render
+# byte-identical output.
 reproduce-smoke:
 	rm -rf $(SMOKE_DIR)
 	PYTHONPATH=src $(PYTHON) -m repro.cli reproduce --only fig1_avf_profile \
-		--scale 300 --jobs 2 --cache-dir $(SMOKE_DIR)/cache --out $(SMOKE_DIR)/run1
+		--scale 300 --jobs 2 --check-invariants=64 \
+		--cache-dir $(SMOKE_DIR)/cache --out $(SMOKE_DIR)/run1
 	PYTHONPATH=src $(PYTHON) -m repro.cli reproduce --only fig1_avf_profile \
-		--scale 300 --jobs 2 --cache-dir $(SMOKE_DIR)/cache --out $(SMOKE_DIR)/run2 \
+		--scale 300 --jobs 2 --check-invariants=64 \
+		--cache-dir $(SMOKE_DIR)/cache --out $(SMOKE_DIR)/run2 \
 		| tee $(SMOKE_DIR)/second.log
 	grep -q "simulated 0 runs" $(SMOKE_DIR)/second.log
 	cmp $(SMOKE_DIR)/run1/fig1_avf_profile.txt $(SMOKE_DIR)/run2/fig1_avf_profile.txt

@@ -1,0 +1,44 @@
+"""Runtime invariant audits and structured observability for the simulator.
+
+Enable with ``SimConfig(check_invariants=N)`` (audit every N cycles) or the
+CLI's ``--check-invariants[=N]``; add ``--trace-out events.jsonl`` for the
+JSONL event trace.  See :mod:`repro.audit.invariants` for the conservation
+laws enforced and docs/reproduction-guide.md ("Auditing & tracing") for the
+operator view.
+"""
+
+from repro.audit.auditor import SimAuditor
+from repro.audit.invariants import (
+    DEFAULT_CHECKS,
+    FINAL_CHECKS,
+    InvariantChecker,
+    audit_report,
+    check_commit_agreement,
+    check_interval_replay,
+    check_ledger_conservation,
+    check_occupancy,
+)
+from repro.audit.observe import (
+    OccupancyTimeline,
+    StageCounters,
+    TraceWriter,
+    occupancy_snapshot,
+)
+from repro.errors import InvariantViolation
+
+__all__ = [
+    "DEFAULT_CHECKS",
+    "FINAL_CHECKS",
+    "InvariantChecker",
+    "InvariantViolation",
+    "OccupancyTimeline",
+    "SimAuditor",
+    "StageCounters",
+    "TraceWriter",
+    "audit_report",
+    "check_commit_agreement",
+    "check_interval_replay",
+    "check_ledger_conservation",
+    "check_occupancy",
+    "occupancy_snapshot",
+]

@@ -1,0 +1,116 @@
+"""Structured observability: stage counters, occupancy timelines, JSONL trace.
+
+The audit layer's second half is passive telemetry: per-stage instruction
+counters snapshotted from the pipeline, per-structure occupancy sampled on
+the audit interval, and an optional newline-delimited-JSON event trace that
+campaigns and figure scripts can post-process without re-running anything.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+
+@dataclass
+class StageCounters:
+    """Cumulative per-stage instruction counts at one point in time."""
+
+    fetched: int = 0
+    wrong_path_fetched: int = 0
+    dispatched: int = 0
+    issued: int = 0
+    writebacks: int = 0
+    committed: int = 0
+    mispredict_squashes: int = 0
+
+    @classmethod
+    def from_core(cls, core) -> "StageCounters":
+        return cls(
+            fetched=sum(t.fetched for t in core.threads),
+            wrong_path_fetched=sum(t.wrong_path_fetched for t in core.threads),
+            dispatched=core.dispatched_total,
+            issued=core.fu_pool.issued_ops,
+            writebacks=core.writebacks_total,
+            committed=core.total_committed,
+            mispredict_squashes=core.mispredict_squashes,
+        )
+
+    def to_payload(self) -> Dict[str, int]:
+        return {
+            "fetched": self.fetched,
+            "wrong_path_fetched": self.wrong_path_fetched,
+            "dispatched": self.dispatched,
+            "issued": self.issued,
+            "writebacks": self.writebacks,
+            "committed": self.committed,
+            "mispredict_squashes": self.mispredict_squashes,
+        }
+
+
+def occupancy_snapshot(core) -> Dict[str, int]:
+    """Live entry counts of every occupancy-tracked structure."""
+    snapshot = {
+        "IQ": len(core.issue_queue),
+        "Reg": core.regfile.allocated_count(),
+        "FU": core.fu_pool.busy_count,
+    }
+    for t in core.threads:
+        snapshot[f"ROB[t{t.id}]"] = len(t.rob)
+        snapshot[f"LSQ[t{t.id}]"] = len(t.lsq)
+    return snapshot
+
+
+@dataclass
+class OccupancyTimeline:
+    """Sampled per-structure occupancy over the run.
+
+    ``samples`` holds ``(cycle, {structure: entries})`` pairs at the audit
+    interval; ``peaks`` is the running per-structure maximum (cheap enough
+    to serialise with every result).
+    """
+
+    samples: List[Tuple[int, Dict[str, int]]] = field(default_factory=list)
+    peaks: Dict[str, int] = field(default_factory=dict)
+
+    def sample(self, core) -> Dict[str, int]:
+        snapshot = occupancy_snapshot(core)
+        self.samples.append((core.cycle, snapshot))
+        for name, value in snapshot.items():
+            if value > self.peaks.get(name, 0):
+                self.peaks[name] = value
+        return snapshot
+
+
+class TraceWriter:
+    """Append-only JSONL event sink (one JSON object per line).
+
+    Events carry at least ``kind`` and ``cycle``; everything else is
+    event-specific.  Keys are sorted so traces diff cleanly across runs.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = self.path.open("w", encoding="utf-8")
+        self.events_written = 0
+
+    def emit(self, kind: str, cycle: int, **fields: object) -> None:
+        if self._fh is None:
+            return
+        record = {"kind": kind, "cycle": cycle, **fields}
+        self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+        self.events_written += 1
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "TraceWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

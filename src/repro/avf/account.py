@@ -28,7 +28,7 @@ class VulnerabilityAccount:
     """
 
     __slots__ = ("name", "capacity", "ace_cycles", "unace_cycles",
-                 "window_start", "intervals")
+                 "window_start", "intervals", "has_direct_adds")
 
     def __init__(self, name: str, capacity: int,
                  record_intervals: bool = False) -> None:
@@ -40,12 +40,24 @@ class VulnerabilityAccount:
         self.unace_cycles: Dict[int, float] = {}
         self.window_start = 0
         self.intervals: list | None = [] if record_intervals else None
+        #: True once residency has been recorded outside ``add_interval``;
+        #: the recorded intervals then no longer cover the whole ledger and
+        #: replay-based audits must skip this account.
+        self.has_direct_adds = False
 
     # -- recording ---------------------------------------------------------------
 
     def add(self, thread_id: int, entry_cycles: float, ace: bool) -> None:
         """Record ``entry_cycles`` of residency for ``thread_id``."""
-        if entry_cycles <= 0:
+        if entry_cycles < 0:
+            raise StructureError(
+                f"{self.name}: negative residency sample "
+                f"({entry_cycles} entry-cycles for thread {thread_id})")
+        self.has_direct_adds = True
+        self._accrue(thread_id, entry_cycles, ace)
+
+    def _accrue(self, thread_id: int, entry_cycles: float, ace: bool) -> None:
+        if entry_cycles == 0:
             return
         ledger = self.ace_cycles if ace else self.unace_cycles
         ledger[thread_id] = ledger.get(thread_id, 0.0) + entry_cycles
@@ -53,12 +65,20 @@ class VulnerabilityAccount:
     def add_interval(self, thread_id: int, start: int, end: int, ace: bool,
                      fraction: float = 1.0) -> None:
         """Record residency over ``[start, end)``, clipped to the window."""
+        if end < start:
+            raise StructureError(
+                f"{self.name}: reversed residency interval "
+                f"[{start}, {end}) for thread {thread_id}")
         lo = max(start, self.window_start)
         if end <= lo:
             return
-        self.add(thread_id, (end - lo) * fraction, ace)
+        self._accrue(thread_id, (end - lo) * fraction, ace)
         if self.intervals is not None and fraction > 0:
             self.intervals.append((thread_id, lo, end, ace))
+            if fraction != 1.0:
+                # Fractional residency is not representable in the verbatim
+                # interval log, so replay can no longer reproduce the sums.
+                self.has_direct_adds = True
 
     def reset(self, cycle: int) -> None:
         """Discard accumulated residency; future intervals clip at ``cycle``."""
@@ -67,6 +87,7 @@ class VulnerabilityAccount:
         if self.intervals is not None:
             self.intervals.clear()
         self.window_start = cycle
+        self.has_direct_adds = False
 
     # -- reduction ---------------------------------------------------------------
 
@@ -75,6 +96,36 @@ class VulnerabilityAccount:
 
     def total_unace(self) -> float:
         return sum(self.unace_cycles.values())
+
+    def occupied_cycles(self) -> float:
+        """Total occupied (ACE + un-ACE) entry-cycles in the ledger."""
+        return self.total_ace() + self.total_unace()
+
+    def idle_cycles(self, cycles: int) -> float:
+        """Idle entry-cycles implied by capacity: the conservation remainder.
+
+        ``ACE + un-ACE + idle == capacity * cycles`` is the ledger's
+        conservation law; a negative result means the ledger over-counts
+        (the audit layer turns that into an :class:`InvariantViolation`).
+        """
+        return self.capacity * cycles - self.occupied_cycles()
+
+    def replay_totals(self) -> "tuple[Dict[int, float], Dict[int, float]] | None":
+        """Per-thread (ACE, un-ACE) entry-cycles re-derived from the log.
+
+        Returns ``None`` when the log cannot reproduce the ledger: interval
+        recording is off, or residency was recorded outside ``add_interval``
+        (direct samples, fractional intervals).  Used by the audit layer to
+        cross-validate the summed ledgers against an independent replay.
+        """
+        if self.intervals is None or self.has_direct_adds:
+            return None
+        ace_sums: Dict[int, float] = {}
+        unace_sums: Dict[int, float] = {}
+        for thread_id, lo, end, ace in self.intervals:
+            ledger = ace_sums if ace else unace_sums
+            ledger[thread_id] = ledger.get(thread_id, 0.0) + (end - lo)
+        return ace_sums, unace_sums
 
     def avf(self, cycles: int) -> float:
         """ACE entry-cycles over capacity entry-cycles; always in [0, 1]."""

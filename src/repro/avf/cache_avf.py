@@ -50,7 +50,12 @@ class Dl1AvfObserver:
         self._tag = tag_account
 
     def on_evict(self, line: CacheLine, cycle: int) -> None:
-        fill = line.fill_cycle
+        # Clip residency to the measurement window: lines filled during a
+        # discarded warmup only count from the ledger reset onwards, matching
+        # add_interval's own clipping (and the conservation law the audit
+        # layer enforces: occupied entry-cycles never exceed capacity x
+        # elapsed window cycles).
+        fill = max(line.fill_cycle, self._data.window_start)
         residency = max(0, cycle - fill)
         if residency == 0:
             return
@@ -60,7 +65,7 @@ class Dl1AvfObserver:
         for w in range(len(line.word_last_read)):
             last_read = line.word_last_read[w]
             last_write = line.word_last_write[w]
-            read_start = max(fill, self._data.window_start)
+            read_start = fill
             # Window of exposure while the word's value still feeds the core.
             read_ace = (read_start, last_read) if last_read > read_start else (0, 0)
             # Dirty words must survive until the writeback at eviction.
@@ -74,7 +79,10 @@ class Dl1AvfObserver:
         if line.dirty:
             tag_ace = residency
         elif line.last_access_cycle > fill:
-            tag_ace = line.last_access_cycle - fill
+            # Loads are timestamped at cycle+1, so a line touched on the
+            # final cycle can record an access one cycle past the drain
+            # point; exposure cannot exceed the measured residency.
+            tag_ace = min(line.last_access_cycle - fill, residency)
         else:
             tag_ace = 0
         self._tag.add(thread, tag_ace, ace=True)
@@ -88,7 +96,8 @@ class DtlbAvfObserver:
         self._account = account
 
     def on_evict(self, entry: TlbEntry, cycle: int) -> None:
-        fill = entry.fill_cycle
+        # Same window clipping as the DL1 observer: see Dl1AvfObserver.
+        fill = max(entry.fill_cycle, self._account.window_start)
         residency = max(0, cycle - fill)
         if residency == 0:
             return

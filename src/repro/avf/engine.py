@@ -105,6 +105,18 @@ class AvfEngine:
         """Reduce all ledgers into an :class:`AvfReport` over ``cycles``."""
         return AvfReport.from_engine(self, cycles)
 
+    def iter_accounts(self):
+        """Yield ``(structure, thread_id, account)`` for every ledger.
+
+        ``thread_id`` is ``None`` for shared structures.  The audit layer
+        walks this to apply conservation checks uniformly.
+        """
+        for structure, account in self._shared.items():
+            yield structure, None, account
+        for structure, per_thread in self._private.items():
+            for tid, account in per_thread.items():
+                yield structure, tid, account
+
     @property
     def shared_accounts(self) -> Dict[Structure, VulnerabilityAccount]:
         return dict(self._shared)

@@ -55,9 +55,21 @@ def _cmd_run(args: argparse.Namespace) -> int:
                else len(workload))
     sim = SimConfig(max_instructions=args.instructions * threads,
                     seed=args.seed,
-                    phase_window_cycles=args.phase_window)
-    result = simulate(workload, policy=args.policy, sim=sim)
+                    phase_window_cycles=args.phase_window,
+                    check_invariants=args.check_invariants)
+    result = simulate(workload, policy=args.policy, sim=sim,
+                      trace_out=args.trace_out)
     print(result.summary())
+    if result.audit is not None:
+        checks = result.audit["invariant_checks"]
+        every = result.audit["check_interval"]
+        line = (f"audit: {checks} invariant checks "
+                f"(every {every} cycles), no violations" if every
+                else "audit: tracing only (no invariant checks)")
+        if "trace_path" in result.audit:
+            line += (f"; trace: {result.audit['trace_path']} "
+                     f"({result.audit['trace_events']} events)")
+        print(line)
     if result.phase_series is not None:
         from repro.avf.phases import phase_statistics
         from repro.avf.structures import Structure
@@ -82,11 +94,28 @@ def _cache_from_args(args: argparse.Namespace):
     return ResultCache(cache_dir=cache_dir)
 
 
+def _apply_audit_env(args: argparse.Namespace) -> None:
+    """Propagate --check-invariants to experiment runs (and their workers).
+
+    The experiments layer builds its SimConfigs from
+    :class:`ExperimentScale`, which reads ``REPRO_CHECK_INVARIANTS`` — the
+    same shape as ``REPRO_SCALE`` — so the flag reaches every simulation,
+    including those fanned out to ``--jobs`` worker processes.
+    """
+    import os
+
+    from repro.experiments.runner import AUDIT_ENV_VAR
+
+    if getattr(args, "check_invariants", None):
+        os.environ[AUDIT_ENV_VAR] = str(args.check_invariants)
+
+
 def _cmd_figure(args: argparse.Namespace) -> int:
     import os
 
     if args.scale is not None:
         os.environ["REPRO_SCALE"] = str(args.scale)
+    _apply_audit_env(args)
     from repro import experiments
     from repro.experiments.parallel import prewarm_artefacts
     from repro.experiments.reproduce import ARTEFACTS
@@ -152,6 +181,7 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
 
     if args.scale is not None:
         os.environ["REPRO_SCALE"] = str(args.scale)
+    _apply_audit_env(args)
     from repro.experiments.reproduce import ARTEFACTS, run_all
 
     only = args.only.split(",") if args.only else None
@@ -200,6 +230,14 @@ def _add_cache_options(parser: argparse.ArgumentParser) -> None:
                              "on-disk result cache")
 
 
+def _add_invariant_option(parser: argparse.ArgumentParser) -> None:
+    """The runtime-audit knob: ``--check-invariants`` (optionally =N)."""
+    parser.add_argument("--check-invariants", type=int, nargs="?",
+                        const=1, default=0, metavar="N",
+                        help="audit pipeline/ledger conservation laws every "
+                             "N cycles (bare flag: every cycle; default off)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-sim",
@@ -218,12 +256,17 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--seed", type=int, default=1)
     run.add_argument("--phase-window", type=int, default=0,
                      help="AVF phase window in cycles (0 = off)")
+    run.add_argument("--trace-out", default=None, metavar="PATH",
+                     help="write a JSONL observability trace (occupancy "
+                          "samples, stage counters, audit events)")
+    _add_invariant_option(run)
 
     fig = sub.add_parser("figure", help="regenerate a paper figure")
     fig.add_argument("number", type=int, choices=range(1, 9))
     fig.add_argument("--scale", type=int, default=None,
                      help="instructions per thread (sets REPRO_SCALE)")
     _add_cache_options(fig)
+    _add_invariant_option(fig)
 
     inject = sub.add_parser("inject", help="fault-injection campaign")
     inject.add_argument("workload", nargs="+")
@@ -247,6 +290,7 @@ def build_parser() -> argparse.ArgumentParser:
     repro.add_argument("--only", default=None,
                        help="comma-separated artefact names (default: all)")
     _add_cache_options(repro)
+    _add_invariant_option(repro)
 
     fit = sub.add_parser("fit", help="FIT/MTTF estimate for a workload")
     fit.add_argument("workload", nargs="+")

@@ -233,6 +233,16 @@ class SimConfig:
     0 disables phase tracking; see :mod:`repro.avf.phases`.
     """
 
+    check_invariants: int = 0
+    """Audit pipeline/ledger conservation laws every this many cycles.
+
+    0 disables auditing.  N > 0 runs the :mod:`repro.audit` invariant
+    checks every N cycles (plus a final pass, including the interval-replay
+    cross-validation, after drain) and attaches an audit record to the
+    result.  Auditing is observation-only: it never changes what the run
+    measures, only whether drift is detected.
+    """
+
     def __post_init__(self) -> None:
         if self.max_instructions <= 0:
             raise ConfigError("max_instructions must be positive")
@@ -242,6 +252,8 @@ class SimConfig:
             raise ConfigError("warmup_instructions must be >= 0")
         if self.phase_window_cycles < 0:
             raise ConfigError("phase_window_cycles must be >= 0")
+        if self.check_invariants < 0:
+            raise ConfigError("check_invariants must be >= 0")
 
 
 def scaled_instruction_budget(num_threads: int, base_per_2_threads: int = 10_000) -> int:

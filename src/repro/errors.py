@@ -30,3 +30,24 @@ class StructureError(ReproError):
 
 class SimulationError(ReproError):
     """The simulation reached an inconsistent state and cannot continue."""
+
+
+class InvariantViolation(ReproError):
+    """A runtime conservation-law audit failed (see :mod:`repro.audit`).
+
+    Carries enough context to diagnose the drift without re-running:
+    the invariant that failed, the offending structure, the cycle the
+    check ran at, and the numeric delta between observed and expected.
+    """
+
+    def __init__(self, invariant: str, structure: str, cycle: int,
+                 delta: float, detail: str = "") -> None:
+        self.invariant = invariant
+        self.structure = structure
+        self.cycle = cycle
+        self.delta = delta
+        message = (f"invariant '{invariant}' violated by {structure} "
+                   f"at cycle {cycle} (delta={delta:+g})")
+        if detail:
+            message += f": {detail}"
+        super().__init__(message)

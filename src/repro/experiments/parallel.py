@@ -125,7 +125,8 @@ def _st_job(program: str, instructions: int, scale: ExperimentScale,
             config: MachineConfig) -> SimJob:
     return SimJob(workload_name=program, programs=(program,), policy="ICOUNT",
                   config=config,
-                  sim=SimConfig(max_instructions=instructions, seed=scale.seed))
+                  sim=SimConfig(max_instructions=instructions, seed=scale.seed,
+                                check_invariants=scale.check_invariants))
 
 
 def smt_jobs_for(name: str, scale: ExperimentScale,

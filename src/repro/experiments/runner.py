@@ -29,6 +29,12 @@ from repro.workload.mixes import WorkloadMix, mixes_for
 #: Environment knob for benchmark runs: per-thread instruction budget.
 SCALE_ENV_VAR = "REPRO_SCALE"
 
+#: Environment knob for runtime auditing: invariant-check interval in
+#: cycles (0/unset = off).  Read by :meth:`ExperimentScale.from_env`, so
+#: ``repro-sim reproduce --check-invariants`` reaches every simulation,
+#: including those fanned out to worker processes.
+AUDIT_ENV_VAR = "REPRO_CHECK_INVARIANTS"
+
 MIX_TYPES = ("CPU", "MIX", "MEM")
 
 #: Version of the on-disk cache entry layout.  Bump whenever the
@@ -44,17 +50,21 @@ class ExperimentScale:
 
     instructions_per_thread: int = 2500
     seed: int = 1
+    check_invariants: int = 0
 
     @classmethod
     def from_env(cls) -> "ExperimentScale":
         """Scale from ``REPRO_SCALE`` (per-thread instructions), default 2500.
 
-        Raises :class:`ConfigError` for non-integer or non-positive values —
-        a zero/negative budget would silently produce empty runs.
+        ``REPRO_CHECK_INVARIANTS`` (cycles between runtime audits, 0 = off)
+        rides along the same way.  Raises :class:`ConfigError` for
+        non-integer or non-positive values — a zero/negative budget would
+        silently produce empty runs.
         """
+        check_invariants = cls._env_int(AUDIT_ENV_VAR, minimum=0, default=0)
         raw = os.environ.get(SCALE_ENV_VAR)
         if raw is None or not raw.strip():
-            return cls()
+            return cls(check_invariants=check_invariants)
         try:
             value = int(raw)
         except ValueError:
@@ -65,12 +75,27 @@ class ExperimentScale:
             raise ConfigError(
                 f"{SCALE_ENV_VAR} must be a positive instruction count, "
                 f"got {value}")
-        return cls(instructions_per_thread=value)
+        return cls(instructions_per_thread=value,
+                   check_invariants=check_invariants)
+
+    @staticmethod
+    def _env_int(name: str, minimum: int, default: int) -> int:
+        raw = os.environ.get(name)
+        if raw is None or not raw.strip():
+            return default
+        try:
+            value = int(raw)
+        except ValueError:
+            raise ConfigError(f"{name} must be an integer, got {raw!r}") from None
+        if value < minimum:
+            raise ConfigError(f"{name} must be >= {minimum}, got {value}")
+        return value
 
     def sim_config(self, num_threads: int) -> SimConfig:
         return SimConfig(
             max_instructions=self.instructions_per_thread * num_threads,
             seed=self.seed,
+            check_invariants=self.check_invariants,
         )
 
 
@@ -162,7 +187,8 @@ class ResultCache:
         """Standalone (superscalar) run committing exactly ``instructions``."""
         return self.run([program], policy="ICOUNT",
                         sim=SimConfig(max_instructions=instructions,
-                                      seed=scale.seed))
+                                      seed=scale.seed,
+                                      check_invariants=scale.check_invariants))
 
     # -- store ---------------------------------------------------------------------
 

@@ -37,7 +37,8 @@ class SMTCore:
     """One simulated SMT processor executing a set of thread traces."""
 
     def __init__(self, traces: List[ThreadTrace], config: MachineConfig,
-                 policy: FetchPolicy, sim: SimConfig) -> None:
+                 policy: FetchPolicy, sim: SimConfig,
+                 trace_out: Optional[str] = None) -> None:
         self.config = config
         self.policy = policy
         self.sim = sim
@@ -71,6 +72,8 @@ class SMTCore:
 
         # Statistics.
         self.mispredict_squashes = 0
+        self.dispatched_total = 0
+        self.writebacks_total = 0
         self.measure_start_cycle = 0
         self._warmup_done = sim.warmup_instructions == 0
         self._committed_at_measure_start = [0] * self.num_threads
@@ -79,6 +82,12 @@ class SMTCore:
         if sim.phase_window_cycles > 0:
             from repro.avf.phases import PhaseTracker
             self.phase_tracker = PhaseTracker(self.engine, sim.phase_window_cycles)
+
+        self.auditor = None
+        if sim.check_invariants > 0 or trace_out is not None:
+            from repro.audit.auditor import SimAuditor
+            self.auditor = SimAuditor(check_every=sim.check_invariants,
+                                      trace_path=trace_out)
 
     # -- public queries used by fetch policies -----------------------------------------
 
@@ -134,9 +143,13 @@ class SMTCore:
             self._fetch()
             if self.phase_tracker is not None:
                 self.phase_tracker.tick(self.cycle)
+            if self.auditor is not None:
+                self.auditor.on_cycle(self)
         self._drain()
         if self.phase_tracker is not None:
             self.phase_tracker.finalize(self.cycle)
+        if self.auditor is not None:
+            self.auditor.finalize(self)
         return self.measured_cycles
 
     @property
@@ -189,6 +202,7 @@ class SMTCore:
 
     def _writeback(self) -> None:
         for instr, stamp, dl1_miss, l2_miss in self._events.pop(self.cycle, ()):
+            self.writebacks_total += 1
             t = self.threads[instr.thread_id]
             # Miss counters were claimed by this issue instance: always release.
             if dl1_miss:
@@ -348,6 +362,7 @@ class SMTCore:
                     self._iq.add(instr, self.cycle)
                 else:
                     instr.completed_at = self.cycle  # NOPs complete at dispatch
+                self.dispatched_total += 1
                 budget -= 1
 
     # -- fetch -------------------------------------------------------------------------------------------

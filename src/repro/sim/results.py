@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.avf.report import AvfReport
 from repro.avf.structures import Structure
@@ -68,6 +68,11 @@ class SimResult:
     phase_series: object = None
     """A :class:`repro.avf.phases.PhaseSeries` when the run was configured
     with ``SimConfig(phase_window_cycles > 0)``, else None."""
+    audit: Optional[Dict[str, object]] = None
+    """Audit record (invariant-check counts, stage counters, occupancy
+    peaks) when the run was configured with ``SimConfig(check_invariants >
+    0)`` or an event trace; None otherwise.  Auditing is observation-only:
+    every other field is byte-identical with or without it."""
 
     def to_payload(self) -> Dict[str, object]:
         """JSON-safe dict for the on-disk result cache.
@@ -76,7 +81,7 @@ class SimResult:
         runs never enable phase tracking, and the series is unbounded in
         size.  :meth:`from_payload` restores it as ``None``.
         """
-        return {
+        payload: Dict[str, object] = {
             "workload": self.workload,
             "policy": self.policy,
             "num_threads": self.num_threads,
@@ -92,6 +97,12 @@ class SimResult:
             "mispredict_squashes": self.mispredict_squashes,
             "extra": dict(self.extra),
         }
+        # Only audited runs carry the key, so unaudited payloads (and the
+        # on-disk cache entries they hash to) are unchanged by the audit
+        # layer's existence.
+        if self.audit is not None:
+            payload["audit"] = dict(self.audit)
+        return payload
 
     @classmethod
     def from_payload(cls, payload: Dict[str, object]) -> "SimResult":
@@ -113,6 +124,7 @@ class SimResult:
             extra={str(k): float(v)
                    for k, v in dict(payload.get("extra", {})).items()},
             phase_series=None,
+            audit=payload.get("audit"),
         )
 
     def thread_ipcs(self) -> Tuple[float, ...]:

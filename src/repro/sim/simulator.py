@@ -47,7 +47,8 @@ def simulate(workload: WorkloadSpec,
              policy: Union[str, FetchPolicy] = "ICOUNT",
              config: Optional[MachineConfig] = None,
              sim: Optional[SimConfig] = None,
-             traces: Optional[List[ThreadTrace]] = None) -> SimResult:
+             traces: Optional[List[ThreadTrace]] = None,
+             trace_out: Optional[str] = None) -> SimResult:
     """Run one SMT workload to its instruction budget and report results.
 
     Parameters
@@ -59,9 +60,14 @@ def simulate(workload: WorkloadSpec,
         Fetch policy name (``"ICOUNT"``, ``"FLUSH"``, ``"STALL"``, ``"DG"``,
         ``"PDG"``, ``"DWARN"``) or a :class:`FetchPolicy` instance.
     config, sim:
-        Machine (Table 1) and run-length configuration.
+        Machine (Table 1) and run-length configuration.  Set
+        ``sim.check_invariants=N`` to audit conservation laws every N
+        cycles (see :mod:`repro.audit`).
     traces:
         Pre-built traces (must match the workload); mainly for tests.
+    trace_out:
+        Path for a JSONL observability trace (occupancy samples, stage
+        counters, audit events); None disables tracing.
     """
     config = config or DEFAULT_CONFIG
     sim = sim or SimConfig()
@@ -72,7 +78,7 @@ def simulate(workload: WorkloadSpec,
         raise WorkloadError("trace count does not match workload size")
     policy_obj = create_policy(policy) if isinstance(policy, str) else policy
 
-    core = SMTCore(traces, config, policy_obj, sim)
+    core = SMTCore(traces, config, policy_obj, sim, trace_out=trace_out)
     if sim.functional_warmup:
         _functional_warmup(core, traces)
     cycles = core.run()
@@ -155,6 +161,11 @@ def _package(core: SMTCore, workload: WorkloadSpec, names: List[str],
     committed_total = sum(t.committed for t in threads)
     workload_name = (workload.name if isinstance(workload, WorkloadMix)
                      else "+".join(names))
+    avf_report = core.engine.report(cycles)
+    audit = None
+    if core.auditor is not None:
+        core.auditor.audit_final_report(avf_report)
+        audit = core.auditor.summary_payload()
     return SimResult(
         workload=workload_name,
         policy=policy.name,
@@ -163,7 +174,7 @@ def _package(core: SMTCore, workload: WorkloadSpec, names: List[str],
         committed=committed_total,
         ipc=committed_total / cycles,
         threads=threads,
-        avf=core.engine.report(cycles),
+        avf=avf_report,
         dl1_miss_rate=core.mem.dl1.miss_rate,
         l2_miss_rate=core.mem.l2.miss_rate,
         il1_miss_rate=core.mem.il1.miss_rate,
@@ -171,4 +182,5 @@ def _package(core: SMTCore, workload: WorkloadSpec, names: List[str],
         mispredict_squashes=core.mispredict_squashes,
         phase_series=(core.phase_tracker.series
                       if core.phase_tracker is not None else None),
+        audit=audit,
     )

@@ -70,5 +70,10 @@ class FunctionalUnitPool:
             self._busy[fu] = [r for r in reservations if r[0] > cycle + 1]
 
     @property
+    def busy_count(self) -> int:
+        """Units currently holding a reservation (occupancy telemetry)."""
+        return sum(len(r) for r in self._busy.values())
+
+    @property
     def total_units(self) -> int:
         return sum(self._counts.values())

@@ -14,10 +14,13 @@ class TestRecording:
         assert acct.total_ace() == 5.0
         assert acct.total_unace() == 3.0
 
-    def test_negative_amount_ignored(self):
+    def test_negative_amount_raises(self):
+        # A negative residency sample means a structure double-freed or
+        # mis-timestamped an entry; the ledger refuses to absorb it.
         acct = VulnerabilityAccount("x", capacity=10)
-        acct.add(0, -1.0, ace=True)
-        acct.add(0, 0.0, ace=True)
+        with pytest.raises(StructureError, match="negative residency"):
+            acct.add(0, -1.0, ace=True)
+        acct.add(0, 0.0, ace=True)   # zero stays a silent no-op
         assert acct.total_ace() == 0.0
 
     def test_interval(self):
@@ -25,9 +28,16 @@ class TestRecording:
         acct.add_interval(1, 10, 25, ace=True)
         assert acct.total_ace() == 15.0
 
-    def test_interval_empty_or_reversed(self):
+    def test_interval_reversed_raises(self):
+        # end < start is always a caller bug (an entry "removed before it
+        # entered"), never a legitimate empty interval.
         acct = VulnerabilityAccount("x", capacity=10)
-        acct.add_interval(1, 25, 10, ace=True)
+        with pytest.raises(StructureError, match="reversed residency interval"):
+            acct.add_interval(1, 25, 10, ace=True)
+        assert acct.total_ace() == 0.0
+
+    def test_interval_empty_is_noop(self):
+        acct = VulnerabilityAccount("x", capacity=10)
         acct.add_interval(1, 10, 10, ace=True)
         assert acct.total_ace() == 0.0
 
