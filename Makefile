@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench reproduce reproduce-smoke examples clean
+.PHONY: install test test-chaos bench reproduce reproduce-smoke examples clean
 
 SMOKE_DIR ?= .smoke
 
@@ -14,6 +14,11 @@ test:
 
 test-fast:
 	$(PYTHON) -m pytest tests/ -m "not slow"
+
+# The fault-tolerance group: supervisor + chaos harness + resilient CLI.
+test-chaos:
+	PYTHONPATH=src $(PYTHON) -m pytest -x -q tests/test_resilience.py \
+		"tests/test_cli.py::TestResilientCli"
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s

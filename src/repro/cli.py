@@ -19,11 +19,50 @@ from typing import List, Optional, Sequence
 
 from repro.avf.fit import DEFAULT_RAW_FIT_PER_BIT, fit_estimate
 from repro.config import SimConfig
-from repro.errors import ReproError
+from repro.errors import MissingResultError, ReproError
 from repro.fetch.registry import EXTENSION_POLICY_NAMES, POLICY_NAMES
 from repro.sim.simulator import simulate
 from repro.workload.mixes import TABLE2_MIXES, get_mix
 from repro.workload.spec2000 import PROFILES
+
+
+def _positive_int(raw: str) -> int:
+    """argparse type: an integer >= 1, rejected with a clear message.
+
+    Negative instruction/worker counts used to sail through argparse and
+    blow up deep inside numpy or the executor; fail at the parser instead.
+    """
+    try:
+        value = int(raw)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{raw!r} is not an integer") from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive integer, got {value}")
+    return value
+
+
+def _non_negative_int(raw: str) -> int:
+    """argparse type: an integer >= 0 (zero-strike campaigns are legal)."""
+    try:
+        value = int(raw)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{raw!r} is not an integer") from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"must be a non-negative integer, got {value}")
+    return value
+
+
+def _positive_float(raw: str) -> float:
+    try:
+        value = float(raw)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{raw!r} is not a number") from None
+    if value <= 0:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive number of seconds, got {value}")
+    return value
 
 
 def _resolve_workload(tokens: List[str]):
@@ -88,10 +127,59 @@ def _cache_from_args(args: argparse.Namespace):
     """Build the ResultCache the --jobs/--cache-dir/--no-cache flags ask for."""
     from repro.experiments.runner import ResultCache
 
-    if args.jobs < 1:
-        raise ReproError("--jobs must be >= 1")
     cache_dir = None if args.no_cache else args.cache_dir
     return ResultCache(cache_dir=cache_dir)
+
+
+def _supervisor_from_args(args: argparse.Namespace, tag: str):
+    """Build the Supervisor (and checkpoint journal) the flags ask for.
+
+    Returns ``None`` when nothing asks for supervision: no resilience
+    flag was given and no chaos spec is in the environment.  (A bare
+    ``--jobs N`` still fans out, via :func:`run_jobs`'s own zero-retry
+    supervisor, with behaviour identical to the pre-resilience pool.)
+    """
+    import os
+    from pathlib import Path
+
+    from repro.resilience import (CHAOS_ENV_VAR, CheckpointJournal,
+                                  RetryPolicy, Supervisor)
+
+    flagged = (args.job_timeout is not None or args.retries is not None
+               or args.max_failures is not None or args.resume
+               or args.failures_out is not None)
+    if not flagged and not os.environ.get(CHAOS_ENV_VAR):
+        return None
+    if args.resume and (args.no_cache or not args.cache_dir):
+        raise ReproError("--resume requires --cache-dir: the journal marks "
+                         "jobs done, but their results live in the cache")
+    journal = None
+    if args.cache_dir and not args.no_cache:
+        cache_dir = Path(args.cache_dir)
+        cache_dir.mkdir(parents=True, exist_ok=True)
+        journal = CheckpointJournal(cache_dir / f"journal-{tag}.jsonl",
+                                    resume=args.resume)
+    policy = RetryPolicy(
+        retries=2 if args.retries is None else args.retries,
+        job_timeout=args.job_timeout,
+        max_failures=0 if args.max_failures is None else args.max_failures,
+    )
+    return Supervisor(max_workers=args.jobs, policy=policy, journal=journal)
+
+
+def _finish_resilient(supervisor, failures_out) -> int:
+    """Write failures.json if asked and pick the exit code (0 ok, 3 degraded)."""
+    from pathlib import Path
+
+    if supervisor is None:
+        return 0
+    if failures_out is not None:
+        supervisor.report.write(Path(failures_out))
+    if supervisor.report:
+        print(f"degraded: {len(supervisor.report.failures)} job(s) failed "
+              f"permanently after retries", file=sys.stderr)
+        return 3
+    return 0
 
 
 def _apply_audit_env(args: argparse.Namespace) -> None:
@@ -133,31 +221,49 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     }
     scale = ExperimentScale.from_env()
     cache = _cache_from_args(args)
+    supervisor = _supervisor_from_args(args, f"fig{args.number}")
     artefact = next(n for n in ARTEFACTS if n.startswith(f"fig{args.number}_"))
-    prewarm_artefacts([artefact], scale, cache, jobs=args.jobs)
     run, fmt = runners[args.number]
-    print(fmt(run(scale, cache)))
-    return 0
+    try:
+        prewarm_artefacts([artefact], scale, cache, jobs=args.jobs,
+                          supervisor=supervisor)
+        print(fmt(run(scale, cache)))
+    except MissingResultError as exc:
+        # A job exhausted its retries but stayed within --max-failures:
+        # emit the marker instead of a traceback and report degradation.
+        print(f"figure {args.number}: DEGRADED — MISSING({exc.label})")
+        print(f"(job {exc.digest[:12]} failed permanently; "
+              f"rerun with --retries/--resume)")
+    return _finish_resilient(supervisor, args.failures_out)
 
 
 def _cmd_inject(args: argparse.Namespace) -> int:
-    from repro.faultinject import run_campaign
+    from repro.faultinject import run_campaign, run_campaign_supervised
 
     workload = _resolve_workload(args.workload)
     threads = (workload.num_threads if hasattr(workload, "num_threads")
                else len(workload))
-    if args.jobs < 1:
-        raise ReproError("--jobs must be >= 1")
-    result = run_campaign(
-        workload,
-        injections=args.strikes,
-        sim=SimConfig(max_instructions=args.instructions * threads,
-                      seed=args.seed),
-        jobs=args.jobs,
-        cache_dir=None if args.no_cache else args.cache_dir,
-    )
-    print(result.summary())
-    return 0
+    sim = SimConfig(max_instructions=args.instructions * threads,
+                    seed=args.seed)
+    cache_dir = None if args.no_cache else args.cache_dir
+    tag = (args.workload[0] if len(args.workload) == 1
+           else "+".join(args.workload))
+    supervisor = _supervisor_from_args(args, f"inject-{tag}")
+    if supervisor is None:
+        result = run_campaign(workload, injections=args.strikes, sim=sim,
+                              jobs=args.jobs, cache_dir=cache_dir)
+        print(result.summary())
+        return 0
+    result = run_campaign_supervised(workload, supervisor,
+                                     injections=args.strikes, sim=sim,
+                                     classify_jobs=args.jobs,
+                                     cache_dir=cache_dir)
+    if result is None:
+        print(f"inject: DEGRADED — MISSING(campaign/{tag}) "
+              f"(campaign failed permanently; see failures report)")
+    else:
+        print(result.summary())
+    return _finish_resilient(supervisor, args.failures_out)
 
 
 def _cmd_rmt(args: argparse.Namespace) -> int:
@@ -195,12 +301,21 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
         print(f"  {name:<28} {elapsed:6.1f}s")
 
     cache = _cache_from_args(args)
+    supervisor = _supervisor_from_args(args, "reproduce")
     print(f"Reproducing into {args.out} ...")
     report = run_all(Path(args.out), only=only, progress=progress,
-                     jobs=args.jobs, cache=cache)
+                     jobs=args.jobs, cache=cache, supervisor=supervisor,
+                     failures_out=(Path(args.failures_out)
+                                   if args.failures_out else None))
     print(f"simulated {cache.simulated} runs "
           f"({cache.disk_hits} loaded from cache)")
     print(f"report: {report}")
+    if supervisor is not None and supervisor.report:
+        # run_all already wrote failures.json next to the report (or at
+        # --failures-out); just surface the degradation in the exit code.
+        print(f"degraded: {len(supervisor.report.failures)} job(s) failed "
+              f"permanently after retries", file=sys.stderr)
+        return 3
     return 0
 
 
@@ -219,7 +334,7 @@ def _cmd_fit(args: argparse.Namespace) -> int:
 
 def _add_cache_options(parser: argparse.ArgumentParser) -> None:
     """Shared parallelism/cache flags (reproduce, figure, inject)."""
-    parser.add_argument("--jobs", type=int, default=1,
+    parser.add_argument("--jobs", type=_positive_int, default=1,
                         help="worker processes for independent simulations "
                              "(default 1 = serial)")
     parser.add_argument("--cache-dir", default=None,
@@ -228,6 +343,31 @@ def _add_cache_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--no-cache", action="store_true",
                         help="ignore --cache-dir: neither read nor write the "
                              "on-disk result cache")
+
+
+def _add_resilience_options(parser: argparse.ArgumentParser) -> None:
+    """Fault-tolerant execution flags (reproduce, figure, inject)."""
+    grp = parser.add_argument_group("resilience")
+    grp.add_argument("--job-timeout", type=_positive_float, default=None,
+                     metavar="SECONDS",
+                     help="wall-clock limit per simulation job; a hung "
+                          "worker is killed and the job retried")
+    grp.add_argument("--retries", type=_non_negative_int, default=None,
+                     metavar="N",
+                     help="attempts after the first for a failed job, with "
+                          "exponential backoff (default 2 when supervision "
+                          "is engaged)")
+    grp.add_argument("--max-failures", type=_non_negative_int, default=None,
+                     metavar="N",
+                     help="tolerate up to N permanently failed jobs and "
+                          "emit degraded artefacts with MISSING markers "
+                          "(default 0 = abort on first permanent failure)")
+    grp.add_argument("--resume", action="store_true",
+                     help="skip jobs recorded done in the checkpoint "
+                          "journal under --cache-dir")
+    grp.add_argument("--failures-out", default=None, metavar="PATH",
+                     help="write the machine-readable failure report "
+                          "(failures.json) to this path")
 
 
 def _add_invariant_option(parser: argparse.ArgumentParser) -> None:
@@ -251,7 +391,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("workload", nargs="+",
                      help="a Table 2 mix name or SPEC program names")
     run.add_argument("--policy", default="ICOUNT")
-    run.add_argument("-n", "--instructions", type=int, default=2500,
+    run.add_argument("-n", "--instructions", type=_positive_int, default=2500,
                      help="instructions per thread (default 2500)")
     run.add_argument("--seed", type=int, default=1)
     run.add_argument("--phase-window", type=int, default=0,
@@ -263,39 +403,43 @@ def build_parser() -> argparse.ArgumentParser:
 
     fig = sub.add_parser("figure", help="regenerate a paper figure")
     fig.add_argument("number", type=int, choices=range(1, 9))
-    fig.add_argument("--scale", type=int, default=None,
+    fig.add_argument("--scale", type=_positive_int, default=None,
                      help="instructions per thread (sets REPRO_SCALE)")
     _add_cache_options(fig)
+    _add_resilience_options(fig)
     _add_invariant_option(fig)
 
     inject = sub.add_parser("inject", help="fault-injection campaign")
     inject.add_argument("workload", nargs="+")
-    inject.add_argument("--strikes", type=int, default=5000)
-    inject.add_argument("-n", "--instructions", type=int, default=2500)
+    inject.add_argument("--strikes", type=_non_negative_int, default=5000)
+    inject.add_argument("-n", "--instructions", type=_positive_int,
+                        default=2500)
     inject.add_argument("--seed", type=int, default=1)
     _add_cache_options(inject)
+    _add_resilience_options(inject)
 
     rmt = sub.add_parser("rmt", help="redundant-multithreading trade-off")
     rmt.add_argument("program")
-    rmt.add_argument("-n", "--instructions", type=int, default=2000)
+    rmt.add_argument("-n", "--instructions", type=_positive_int, default=2000)
     rmt.add_argument("--coverage", action="store_true",
                      help="also run the strike-coverage analysis")
-    rmt.add_argument("--strikes", type=int, default=5000)
+    rmt.add_argument("--strikes", type=_non_negative_int, default=5000)
     rmt.add_argument("--seed", type=int, default=1)
 
     repro = sub.add_parser("reproduce",
                            help="regenerate all paper artefacts into a directory")
     repro.add_argument("--out", default="reproduction")
-    repro.add_argument("--scale", type=int, default=None)
+    repro.add_argument("--scale", type=_positive_int, default=None)
     repro.add_argument("--only", default=None,
                        help="comma-separated artefact names (default: all)")
     _add_cache_options(repro)
+    _add_resilience_options(repro)
     _add_invariant_option(repro)
 
     fit = sub.add_parser("fit", help="FIT/MTTF estimate for a workload")
     fit.add_argument("workload", nargs="+")
     fit.add_argument("--policy", default="ICOUNT")
-    fit.add_argument("-n", "--instructions", type=int, default=2500)
+    fit.add_argument("-n", "--instructions", type=_positive_int, default=2500)
     fit.add_argument("--seed", type=int, default=1)
     fit.add_argument("--raw-fit", type=float, default=DEFAULT_RAW_FIT_PER_BIT,
                      help="raw soft-error rate per bit in FIT")
@@ -314,7 +458,12 @@ _COMMANDS = {
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+    try:
+        args = build_parser().parse_args(argv)
+    except SystemExit as exc:
+        # argparse already printed its message; fold the exit into the
+        # return-code contract so callers never see the exception.
+        return int(exc.code or 0)
     try:
         return _COMMANDS[args.command](args)
     except ReproError as exc:

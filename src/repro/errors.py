@@ -32,6 +32,38 @@ class SimulationError(ReproError):
     """The simulation reached an inconsistent state and cannot continue."""
 
 
+class MissingResultError(ReproError):
+    """A renderer asked for a simulation whose job permanently failed.
+
+    Raised by :class:`repro.experiments.runner.ResultCache` instead of
+    silently re-simulating inline, so artefact renderers can degrade to an
+    explicit ``MISSING(<job>)`` marker rather than masking a supervised
+    run's failure with a fresh (possibly equally doomed) attempt.
+    """
+
+    def __init__(self, label: str, digest: str) -> None:
+        self.label = label
+        self.digest = digest
+        super().__init__(f"no result for {label} "
+                         f"(job {digest[:12]} failed permanently)")
+
+
+class ExecutionFailed(ReproError):
+    """Supervised execution aborted: the permanent-failure budget ran out.
+
+    Raised by :class:`repro.resilience.Supervisor` once more jobs have
+    failed permanently than ``--max-failures`` tolerates.  Every payload
+    that *did* complete has already been committed to the result cache
+    before this is raised, so a re-run only repeats the genuinely
+    unfinished work.  ``report`` carries the structured
+    :class:`repro.resilience.FailureReport`.
+    """
+
+    def __init__(self, message: str, report: object = None) -> None:
+        self.report = report
+        super().__init__(message)
+
+
 class InvariantViolation(ReproError):
     """A runtime conservation-law audit failed (see :mod:`repro.audit`).
 

@@ -73,26 +73,51 @@ def run_multiseed(workload: Union[WorkloadMix, Sequence[str]],
                   instructions_per_thread: int = 2000,
                   config: Optional[MachineConfig] = None,
                   structures: Optional[Sequence[Structure]] = None,
-                  cache: Optional[ResultCache] = None) -> MultiSeedResult:
+                  cache: Optional[ResultCache] = None,
+                  jobs: int = 1,
+                  supervisor=None) -> MultiSeedResult:
     """Run one workload/policy point under several generator seeds.
 
     With ``cache`` given (typically a disk-backed :class:`ResultCache`),
     per-seed runs are cached, so re-running a spread analysis with more
-    seeds only simulates the new ones.
+    seeds only simulates the new ones.  ``jobs`` fans the per-seed runs
+    over worker processes and ``supervisor`` (a
+    :class:`repro.resilience.Supervisor`) makes that fan-out survive
+    crashes, hangs and corrupt payloads; a seed whose job failed
+    permanently surfaces as :class:`~repro.errors.MissingResultError`
+    when its statistics are gathered.
     """
     if len(seeds) < 1:
         raise ConfigError("need at least one seed")
     config = config or DEFAULT_CONFIG
-    threads = (workload.num_threads if isinstance(workload, WorkloadMix)
-               else len(list(workload)))
+    programs = (workload.programs if isinstance(workload, WorkloadMix)
+                else tuple(workload))
+    threads = len(programs)
     tracked = tuple(structures) if structures else tuple(Structure)
     name = (workload.name if isinstance(workload, WorkloadMix)
             else "+".join(workload))
+    sims = [SimConfig(max_instructions=instructions_per_thread * threads,
+                      seed=seed) for seed in seeds]
+    if jobs > 1 or supervisor is not None:
+        # Fan the independent per-seed runs out first; the statistics
+        # loop below then reads them from the (now warm) cache.  A custom
+        # WorkloadMix a SimJob cannot reconstruct (digest would not match
+        # the read below) stays on the inline path.
+        from repro.experiments.parallel import SimJob, run_jobs
+        from repro.experiments.runner import job_key, stable_digest
+
+        cache = cache or ResultCache(config)
+        fan_out = []
+        for sim in sims:
+            job = SimJob(workload_name=name, programs=programs,
+                         policy=policy, config=config, sim=sim)
+            if job.digest() == stable_digest(
+                    job_key(config, sim, workload, policy)):
+                fan_out.append(job)
+        run_jobs(fan_out, cache, max_workers=jobs, supervisor=supervisor)
     out = MultiSeedResult(workload=name, policy=policy, seeds=tuple(seeds),
                           avf={s: SeedStatistics() for s in tracked})
-    for seed in seeds:
-        sim = SimConfig(max_instructions=instructions_per_thread * threads,
-                        seed=seed)
+    for sim in sims:
         if cache is not None:
             result = cache.run(workload, policy=policy, sim=sim, config=config)
         else:

@@ -4,8 +4,10 @@ One job is one independent :func:`repro.sim.simulator.simulate` call — a
 (workload, policy, machine config, sim config) tuple.  :func:`run_jobs`
 deduplicates jobs by content digest, skips those already satisfied by the
 :class:`ResultCache` (memory or disk) and executes the rest, inline for one
-worker or on a ``ProcessPoolExecutor`` otherwise; every result lands in the
-cache, so artefact rendering afterwards never simulates.
+worker or on a supervised worker pool (:mod:`repro.resilience`) otherwise —
+crashes, hangs and corrupt payloads are retried per the supervisor's
+policy, and every completed result lands in the cache even when a sibling
+job fails, so artefact rendering afterwards never simulates.
 
 :func:`prewarm_artefacts` knows which runs each ``repro-sim reproduce``
 artefact needs.  Planning happens in two stages because the single-thread
@@ -26,12 +28,11 @@ pickle), so ``--jobs N`` renders byte-identical artefact text to ``--jobs
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence, Tuple, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.config import MachineConfig, SimConfig
-from repro.errors import ConfigError
+from repro.errors import ConfigError, MissingResultError
 from repro.experiments.runner import (
     MIX_TYPES,
     ExperimentScale,
@@ -41,6 +42,7 @@ from repro.experiments.runner import (
 )
 from repro.experiments.sensitivity import SWEEPABLE
 from repro.fetch.registry import POLICY_NAMES
+from repro.resilience import RetryPolicy, Supervisor
 from repro.sim.results import SimResult
 from repro.sim.simulator import simulate
 from repro.workload.mixes import TABLE2_MIXES, WorkloadMix, get_mix, mixes_for
@@ -51,6 +53,16 @@ FIG3_WORKLOADS = ("4-CPU-A", "4-MIX-A", "4-MEM-A")
 #: The resource-scaling artefact's sweep: (resource, size ladder, workload).
 #: Shared with ``reproduce.ARTEFACTS`` so planner and renderer cannot drift.
 RESOURCE_SWEEP = ("rob", (24, 48, 96, 192), "4-CPU-A")
+
+#: Every artefact the planners know how to prewarm — kept equal to the
+#: keys of ``reproduce.ARTEFACTS`` (a test asserts it), defined here so a
+#: typo'd name fails loudly instead of posing as an already-warm cache.
+KNOWN_ARTEFACTS = frozenset({
+    "fig1_avf_profile", "fig2_efficiency", "fig3_smt_vs_st",
+    "fig4_smt_vs_st_efficiency", "fig5_context_scaling",
+    "fig6_fetch_policies", "fig7_policy_efficiency", "fig8_fairness",
+    "smt_vs_superscalar", "resource_scaling",
+})
 
 
 @dataclass(frozen=True)
@@ -74,42 +86,74 @@ class SimJob:
         return stable_digest(
             job_key(self.config, self.sim, self.workload(), self.policy))
 
+    # -- supervised-task protocol (see repro.resilience.supervisor) --------------
 
-def _execute(job: SimJob) -> Tuple[str, Dict[str, object]]:
-    """Worker entry point: run one job, return (digest, result payload)."""
-    result = simulate(job.workload(), policy=job.policy,
-                      config=job.config, sim=job.sim)
-    return job.digest(), result.to_payload()
+    @property
+    def label(self) -> str:
+        """Human-readable identity: MISSING markers, chaos matching, logs."""
+        return f"{self.workload_name}/{self.policy}/seed{self.sim.seed}"
+
+    def run(self) -> Dict[str, object]:
+        result = simulate(self.workload(), policy=self.policy,
+                          config=self.config, sim=self.sim)
+        return result.to_payload()
+
+    def validate(self, payload: Dict[str, object]) -> None:
+        """Reject corrupt payloads before they can reach the cache."""
+        SimResult.from_payload(payload)
 
 
 def run_jobs(jobs: Iterable[SimJob], cache: ResultCache,
-             max_workers: int = 1) -> int:
+             max_workers: int = 1,
+             supervisor: Optional[Supervisor] = None) -> int:
     """Execute every job the cache cannot already answer; returns that count.
 
     Jobs are deduplicated by digest first, then checked against the cache
     (memory and disk), so the union of several artefacts' job sets costs
-    each distinct simulation once.
+    each distinct simulation once.  Jobs a supervised run has already
+    failed permanently (``cache.failed``) are neither re-run nor counted.
+
+    ``max_workers == 1`` without a ``supervisor`` runs inline (the legacy
+    fast path); otherwise execution goes through a
+    :class:`~repro.resilience.Supervisor` — the caller's, carrying its
+    retry policy, journal and failure budget, or a default one with zero
+    retries, which still guarantees that every payload completed before a
+    mid-batch failure is committed to the cache before the failure
+    propagates (as :class:`~repro.errors.ExecutionFailed`).
     """
     if max_workers < 1:
         raise ConfigError("max_workers must be >= 1")
     unique: Dict[str, SimJob] = {}
     for job in jobs:
         unique.setdefault(job.digest(), job)
-    pending = {d: j for d, j in unique.items() if cache.get(d) is None}
+    pending = {d: j for d, j in unique.items()
+               if cache.get(d) is None and d not in cache.failed}
     if not pending:
         return 0
-    if max_workers == 1 or len(pending) == 1:
+    if supervisor is None and (max_workers == 1 or len(pending) == 1):
         for job in pending.values():
             cache.run(job.workload(), policy=job.policy,
                       sim=job.sim, config=job.config)
         return len(pending)
-    with ProcessPoolExecutor(max_workers=min(max_workers, len(pending))) as pool:
-        futures = [pool.submit(_execute, job) for job in pending.values()]
-        for future in as_completed(futures):
-            digest, payload = future.result()
-            cache.put(digest, SimResult.from_payload(payload))
-            cache.simulated += 1
-    return len(pending)
+    if supervisor is None:
+        supervisor = Supervisor(max_workers=max_workers,
+                                policy=RetryPolicy(retries=0, max_failures=0))
+
+    def commit(job: SimJob, payload: Dict[str, object]) -> None:
+        cache.put(job.digest(), SimResult.from_payload(payload))
+        cache.simulated += 1
+
+    try:
+        outcome = supervisor.run(
+            pending.values(), commit=commit,
+            already_done=lambda j: cache.get(j.digest()) is not None)
+    finally:
+        # Whatever happened — clean finish, degraded finish, or an
+        # ExecutionFailed abort — renderers must see permanent failures as
+        # MISSING rather than silently re-simulating them inline.
+        for failure in supervisor.report.failures:
+            cache.mark_failed(failure.digest, failure.label)
+    return outcome.executed
 
 
 # -- per-artefact job planning ---------------------------------------------------
@@ -182,7 +226,13 @@ def followup_jobs_for(name: str, scale: ExperimentScale,
         return []
     jobs: List[SimJob] = []
     for mix in mixes:
-        smt = cache.smt(mix, "ICOUNT", scale)
+        try:
+            smt = cache.smt(mix, "ICOUNT", scale)
+        except MissingResultError:
+            # The SMT run failed permanently under supervision; its
+            # single-thread reference runs cannot even be planned.  The
+            # renderer will surface the missing SMT job itself.
+            continue
         for thread in smt.threads:
             jobs.append(_st_job(thread.program, max(thread.committed, 100),
                                 scale, cache.config))
@@ -190,15 +240,28 @@ def followup_jobs_for(name: str, scale: ExperimentScale,
 
 
 def prewarm_artefacts(names: Sequence[str], scale: ExperimentScale,
-                      cache: ResultCache, jobs: int = 1) -> int:
+                      cache: ResultCache, jobs: int = 1,
+                      supervisor: Optional[Supervisor] = None) -> int:
     """Run every simulation the named artefacts need; returns the number
-    executed (0 when the cache was already fully warm)."""
+    executed (0 when the cache was already fully warm).
+
+    Unknown artefact names raise :class:`~repro.errors.ConfigError` — a
+    typo must not masquerade as a fully-warm cache.  With a
+    ``supervisor``, both planning stages run supervised and share its
+    retry policy, journal and failure budget.
+    """
     if jobs < 1:
         raise ConfigError("jobs must be >= 1")
+    unknown = sorted(set(names) - KNOWN_ARTEFACTS)
+    if unknown:
+        raise ConfigError(f"unknown artefacts {unknown}; "
+                          f"known: {sorted(KNOWN_ARTEFACTS)}")
     stage1 = [job for name in names
               for job in smt_jobs_for(name, scale, cache.config)]
-    executed = run_jobs(stage1, cache, max_workers=jobs)
+    executed = run_jobs(stage1, cache, max_workers=jobs,
+                        supervisor=supervisor)
     stage2 = [job for name in names
               for job in followup_jobs_for(name, scale, cache)]
-    executed += run_jobs(stage2, cache, max_workers=jobs)
+    executed += run_jobs(stage2, cache, max_workers=jobs,
+                         supervisor=supervisor)
     return executed

@@ -13,6 +13,14 @@ are rendered from the warm cache.  Rendering is deterministic given the
 cached results, so ``jobs=N`` produces byte-identical artefact text to
 ``jobs=1``, and a second invocation against a warm cache directory skips
 simulation entirely.
+
+With a :class:`~repro.resilience.Supervisor`, execution additionally
+survives worker crashes, hangs and corrupt payloads (retry/backoff,
+per-job timeouts, pool rebuilds, ``--resume`` from a checkpoint journal).
+Jobs that fail permanently within the supervisor's budget degrade
+gracefully: the affected artefacts render as explicit ``MISSING(<job>)``
+markers instead of raising, REPORT.md names them, and a machine-readable
+``failures.json`` lands next to the report.
 """
 
 from __future__ import annotations
@@ -20,6 +28,8 @@ from __future__ import annotations
 import time
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Tuple, Union
+
+from repro.errors import MissingResultError
 
 from repro.experiments import (
     format_figure1, format_figure2, format_figure3, format_figure4,
@@ -56,16 +66,31 @@ ARTEFACTS: Dict[str, Callable[[ExperimentScale, ResultCache], str]] = {
 }
 
 
+def _degraded_text(name: str, exc: MissingResultError) -> str:
+    """The artefact body rendered when a needed simulation is missing."""
+    return (f"{name}: DEGRADED — simulation set incomplete\n"
+            f"MISSING({exc.label})\n"
+            f"(job {exc.digest[:12]} failed permanently; "
+            f"see failures.json)")
+
+
 def run_all(out_dir: Path, scale: Optional[ExperimentScale] = None,
             only: Optional[List[str]] = None,
             progress: Optional[Callable[[str, float], None]] = None,
             jobs: int = 1,
             cache: Optional[ResultCache] = None,
-            cache_dir: Optional[Union[str, Path]] = None) -> Path:
+            cache_dir: Optional[Union[str, Path]] = None,
+            supervisor=None,
+            failures_out: Optional[Union[str, Path]] = None) -> Path:
     """Render every artefact into ``out_dir``; returns the REPORT.md path.
 
     ``jobs`` is the number of simulation worker processes; ``cache_dir``
     (or a pre-built ``cache``) enables the persistent on-disk result cache.
+    ``supervisor`` (a :class:`repro.resilience.Supervisor`) makes execution
+    fault-tolerant; when it reports permanent failures, the affected
+    artefacts are written with ``MISSING(<job>)`` markers and the
+    structured report lands at ``failures_out`` (default
+    ``out_dir/failures.json``).
     """
     scale = scale or ExperimentScale.from_env()
     if cache is None:
@@ -77,7 +102,8 @@ def run_all(out_dir: Path, scale: Optional[ExperimentScale] = None,
         (name, fn) for name, fn in ARTEFACTS.items()
         if only is None or name in only
     ]
-    prewarm_artefacts([name for name, _ in selected], scale, cache, jobs=jobs)
+    prewarm_artefacts([name for name, _ in selected], scale, cache,
+                      jobs=jobs, supervisor=supervisor)
 
     report = [
         "# Reproduction report",
@@ -86,15 +112,33 @@ def run_all(out_dir: Path, scale: Optional[ExperimentScale] = None,
         f"seed {scale.seed}.",
         "",
     ]
+    degraded: List[str] = []
     for name, fn in selected:
         started = time.perf_counter()
-        text = fn(scale, cache)
+        try:
+            text = fn(scale, cache)
+        except MissingResultError as exc:
+            text = _degraded_text(name, exc)
+            degraded.append(name)
         elapsed = time.perf_counter() - started
         (out_dir / f"{name}.txt").write_text(text + "\n")
         report += [f"## {name}", "", "```", text, "```",
                    f"_({elapsed:.1f}s)_", ""]
         if progress is not None:
             progress(name, elapsed)
+
+    failures = supervisor.report if supervisor is not None else None
+    if failures or degraded:
+        report += ["## Failures", ""]
+        if failures:
+            for f in failures.failures:
+                report.append(f"- `{f.label}`: {'/'.join(f.kinds)} after "
+                              f"{f.attempts} attempt(s) — {f.error}")
+        report += ["", f"Degraded artefacts: "
+                       f"{', '.join(degraded) if degraded else 'none'}", ""]
+    if failures is not None and (failures or failures_out is not None):
+        failures.write(Path(failures_out) if failures_out is not None
+                       else out_dir / "failures.json")
     report_path = out_dir / "REPORT.md"
     report_path.write_text("\n".join(report))
     return report_path

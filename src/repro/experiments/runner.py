@@ -21,7 +21,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.avf.structures import Structure
 from repro.config import DEFAULT_CONFIG, MachineConfig, SimConfig
-from repro.errors import ConfigError
+from repro.errors import ConfigError, MissingResultError
 from repro.sim.results import SimResult
 from repro.sim.simulator import simulate
 from repro.workload.mixes import WorkloadMix, mixes_for
@@ -138,6 +138,40 @@ def stable_digest(payload: Dict[str, object]) -> str:
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
+def atomic_write_json(path: Path, entry: Dict[str, object]) -> None:
+    """Write-then-rename so concurrent writers (parallel runs sharing a
+    cache dir) never expose a half-written entry.
+
+    The temporary file is removed even when the write or rename is
+    interrupted (disk full, kill signal escaping as an exception) — a
+    crashed run must not litter the cache with ``.tmp<pid>`` orphans.
+    """
+    tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
+    try:
+        tmp.write_text(json.dumps(entry, sort_keys=True))
+        os.replace(tmp, path)
+    finally:
+        try:
+            tmp.unlink()  # gone already after a successful replace
+        except OSError:
+            pass
+
+
+def sweep_tmp_orphans(cache_dir: Path) -> int:
+    """Delete ``*.tmp*`` orphans a crashed writer left behind; returns the
+    count.  Called when a cache directory is opened: any temp file present
+    then belongs to a writer that died between write and rename (live
+    writers hold theirs for milliseconds during an atomic publish)."""
+    removed = 0
+    for orphan in cache_dir.glob("*.tmp*"):
+        try:
+            orphan.unlink()
+            removed += 1
+        except OSError:
+            pass
+    return removed
+
+
 class ResultCache:
     """Memoises simulations in memory and, optionally, on disk.
 
@@ -157,7 +191,9 @@ class ResultCache:
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         if self.cache_dir is not None:
             self.cache_dir.mkdir(parents=True, exist_ok=True)
+            sweep_tmp_orphans(self.cache_dir)
         self._mem: Dict[str, SimResult] = {}
+        self.failed: Dict[str, str] = {}
         self.simulated = 0
         self.mem_hits = 0
         self.disk_hits = 0
@@ -174,6 +210,11 @@ class ResultCache:
         hit = self.get(digest)
         if hit is not None:
             return hit
+        if digest in self.failed:
+            # A supervised run already exhausted this job's retries; a
+            # silent inline re-run here would mask the failure (and likely
+            # fail the same way, this time with nothing supervising it).
+            raise MissingResultError(self.failed[digest], digest)
         result = simulate(workload, policy=policy, config=config, sim=sim)
         self.simulated += 1
         self.put(digest, result)
@@ -214,6 +255,17 @@ class ResultCache:
         if self.cache_dir is not None and result.phase_series is None:
             self._store(digest, result)
 
+    def mark_failed(self, digest: str, label: str) -> None:
+        """Record that a supervised job failed permanently.
+
+        A later :meth:`run` for the same digest raises
+        :class:`~repro.errors.MissingResultError` instead of silently
+        re-simulating, so renderers degrade to explicit ``MISSING``
+        markers.  :meth:`get` still answers (``None``) without raising —
+        planners probe presence through it.
+        """
+        self.failed[digest] = label
+
     def clear(self) -> None:
         """Drop the in-memory memo (on-disk entries are left alone)."""
         self._mem.clear()
@@ -246,11 +298,7 @@ class ResultCache:
     def _store(self, digest: str, result: SimResult) -> None:
         path = self._path(digest)
         entry = {"schema": CACHE_SCHEMA_VERSION, "result": result.to_payload()}
-        # Write-then-rename so concurrent writers (parallel reproduce runs
-        # sharing a cache dir) never expose a half-written entry.
-        tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
-        tmp.write_text(json.dumps(entry, sort_keys=True))
-        os.replace(tmp, path)
+        atomic_write_json(path, entry)
 
     @staticmethod
     def _invalidate(path: Path) -> None:

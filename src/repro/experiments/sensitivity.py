@@ -71,12 +71,18 @@ def run_resource_sweep(resource: str,
                        workload: Union[str, WorkloadMix] = "4-MIX-A",
                        scale: Optional[ExperimentScale] = None,
                        policy: str = "ICOUNT",
-                       cache: Optional[ResultCache] = None) -> SweepData:
+                       cache: Optional[ResultCache] = None,
+                       jobs: int = 1,
+                       supervisor=None) -> SweepData:
     """Scale one resource over ``sizes`` and measure IPC and exposure.
 
     With ``cache`` given, each size step's run goes through the result
     cache (keyed by the overridden machine config), so repeated sweeps —
     and the ``reproduce`` driver's parallel prewarm — reuse the runs.
+    ``jobs``/``supervisor`` fan the independent size steps over a
+    (supervised, fault-tolerant) worker pool first; a step whose job
+    failed permanently surfaces as
+    :class:`~repro.errors.MissingResultError` when the sweep reads it.
     """
     if resource not in SWEEPABLE:
         raise ConfigError(f"unknown resource {resource!r}; "
@@ -89,12 +95,24 @@ def run_resource_sweep(resource: str,
 
     data = SweepData(resource=resource, workload=mix.name, structure=structure)
     base_config = cache.config if cache is not None else DEFAULT_CONFIG
+    if jobs > 1 or supervisor is not None:
+        # Imported lazily: parallel.py imports SWEEPABLE from this module.
+        from repro.experiments.parallel import SimJob, run_jobs
+
+        cache = cache or ResultCache(base_config)
+        run_jobs(
+            [SimJob(workload_name=mix.name, programs=mix.programs,
+                    policy=policy,
+                    config=base_config.with_overrides(
+                        **{f: size for f in fields}),
+                    sim=scale.sim_config(mix.num_threads))
+             for size in sizes],
+            cache, max_workers=jobs, supervisor=supervisor)
     for size in sizes:
         config = base_config.with_overrides(**{f: size for f in fields})
-        sim = SimConfig(
-            max_instructions=scale.instructions_per_thread * mix.num_threads,
-            seed=scale.seed,
-        )
+        # Built via the scale (not a bare SimConfig) so the digest matches
+        # the parallel planner's jobs even when runtime auditing is on.
+        sim = scale.sim_config(mix.num_threads)
         if cache is not None:
             result = cache.run(mix, policy=policy, sim=sim, config=config)
         else:

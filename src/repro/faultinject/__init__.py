@@ -23,9 +23,12 @@ interval arithmetic end to end.
 """
 
 from repro.faultinject.campaign import (
+    CampaignJob,
     InjectionCampaignResult,
     InjectionOutcome,
     run_campaign,
+    run_campaign_supervised,
 )
 
-__all__ = ["InjectionOutcome", "InjectionCampaignResult", "run_campaign"]
+__all__ = ["CampaignJob", "InjectionOutcome", "InjectionCampaignResult",
+           "run_campaign", "run_campaign_supervised"]

@@ -21,7 +21,7 @@ from repro.fetch.base import FetchPolicy
 from repro.fetch.registry import create_policy
 from repro.pipeline.core import SMTCore
 from repro.sim.simulator import _functional_warmup, build_traces
-from repro.workload.mixes import WorkloadMix
+from repro.workload.mixes import TABLE2_MIXES, WorkloadMix
 
 #: Structures the campaign can inject into (interval-logged pipeline state).
 INJECTABLE = (Structure.IQ, Structure.ROB, Structure.LSQ_TAG,
@@ -130,6 +130,24 @@ def _campaign_digest(key: Dict[str, object]) -> str:
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
+def _campaign_key(name: str, programs: Sequence[str], policy_name: str,
+                  config: MachineConfig, run_sim: SimConfig,
+                  injections: int, structures: Sequence[Structure],
+                  seed: int) -> Dict[str, object]:
+    """Canonical identity of one campaign — every input that can change
+    its outcome (and nothing that cannot, e.g. worker/thread counts)."""
+    return {
+        "workload": name,
+        "programs": list(programs),
+        "policy": policy_name,
+        "machine": asdict(config),
+        "sim": asdict(run_sim),
+        "injections": injections,
+        "structures": [s.value for s in structures],
+        "seed": seed,
+    }
+
+
 def _campaign_payload(result: InjectionCampaignResult) -> Dict[str, object]:
     return {
         "workload": result.workload,
@@ -185,11 +203,22 @@ def _load_campaign(path: Path) -> Optional[InjectionCampaignResult]:
 
 
 def _store_campaign(path: Path, result: InjectionCampaignResult) -> None:
+    from repro.experiments.runner import atomic_write_json
+
     entry = {"schema": CAMPAIGN_SCHEMA_VERSION,
              "result": _campaign_payload(result)}
-    tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
-    tmp.write_text(json.dumps(entry, sort_keys=True))
-    os.replace(tmp, path)
+    atomic_write_json(path, entry)
+
+
+def _open_campaign_cache(cache_dir: Union[str, Path]) -> Path:
+    """Create/clean the campaign cache dir (sweeping crashed writers'
+    ``.tmp<pid>`` orphans, same discipline as the result cache)."""
+    from repro.experiments.runner import sweep_tmp_orphans
+
+    cache_root = Path(cache_dir)
+    cache_root.mkdir(parents=True, exist_ok=True)
+    sweep_tmp_orphans(cache_root)
+    return cache_root
 
 
 def run_campaign(workload: Union[WorkloadMix, Sequence[str]],
@@ -228,19 +257,11 @@ def run_campaign(workload: Union[WorkloadMix, Sequence[str]],
 
     cache_path: Optional[Path] = None
     if cache_dir is not None:
-        key = {
-            "workload": name,
-            "programs": list(workload.programs if isinstance(workload, WorkloadMix)
-                             else workload),
-            "policy": policy_obj.name,
-            "machine": asdict(config),
-            "sim": asdict(run_sim),
-            "injections": injections,
-            "structures": [s.value for s in structures],
-            "seed": seed,
-        }
-        cache_root = Path(cache_dir)
-        cache_root.mkdir(parents=True, exist_ok=True)
+        key = _campaign_key(
+            name,
+            workload.programs if isinstance(workload, WorkloadMix) else workload,
+            policy_obj.name, config, run_sim, injections, structures, seed)
+        cache_root = _open_campaign_cache(cache_dir)
         cache_path = cache_root / f"campaign-{_campaign_digest(key)}.json"
         cached = _load_campaign(cache_path)
         if cached is not None:
@@ -302,3 +323,120 @@ def run_campaign(workload: Union[WorkloadMix, Sequence[str]],
     if cache_path is not None:
         _store_campaign(cache_path, result)
     return result
+
+
+# -- supervised campaign execution ------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CampaignJob:
+    """One whole injection campaign as a supervised task (picklable).
+
+    Implements the task protocol of :class:`repro.resilience.Supervisor`
+    (``label``/``digest``/``run``/``validate``).  The digest is the same
+    content hash :func:`run_campaign` keys its on-disk cache with, so the
+    supervised path and the legacy path share ``campaign-<digest>.json``
+    files interchangeably.  ``classify_jobs`` (worker threads for the
+    per-structure timeline reconstruction, inside the worker process) is
+    excluded from the key: it cannot change the outcome.
+    """
+
+    workload_name: str
+    programs: Tuple[str, ...]
+    policy: str
+    config: MachineConfig
+    sim: SimConfig  # the base sim config; run_campaign adds interval recording
+    injections: int
+    structures: Tuple[Structure, ...]
+    seed: int
+    classify_jobs: int = 1
+
+    @property
+    def label(self) -> str:
+        return f"campaign/{self.workload_name}/{self.policy}"
+
+    def _workload(self) -> Union[WorkloadMix, List[str]]:
+        mix = TABLE2_MIXES.get(self.workload_name)
+        if mix is not None and mix.programs == self.programs:
+            return mix
+        return list(self.programs)
+
+    def key(self) -> Dict[str, object]:
+        return _campaign_key(self.workload_name, self.programs, self.policy,
+                             self.config, _campaign_sim(self.sim),
+                             self.injections, self.structures, self.seed)
+
+    def digest(self) -> str:
+        return _campaign_digest(self.key())
+
+    def run(self) -> Dict[str, object]:
+        result = run_campaign(self._workload(), injections=self.injections,
+                              structures=self.structures, policy=self.policy,
+                              config=self.config, sim=self.sim,
+                              seed=self.seed, jobs=self.classify_jobs,
+                              cache_dir=None)
+        return _campaign_payload(result)
+
+    def validate(self, payload: Dict[str, object]) -> None:
+        _campaign_from_payload(payload)
+
+
+def run_campaign_supervised(
+        workload: Union[WorkloadMix, Sequence[str]],
+        supervisor,
+        injections: int = 2000,
+        structures: Sequence[Structure] = INJECTABLE,
+        policy: str = "ICOUNT",
+        config: Optional[MachineConfig] = None,
+        sim: Optional[SimConfig] = None,
+        seed: int = 42,
+        classify_jobs: int = 1,
+        cache_dir: Optional[Union[str, Path]] = None,
+) -> Optional[InjectionCampaignResult]:
+    """:func:`run_campaign` under a :class:`~repro.resilience.Supervisor`.
+
+    The campaign runs in a worker process with the supervisor's per-job
+    timeout, retry/backoff and chaos exposure; its result is published to
+    the same ``campaign-<digest>.json`` cache entry the legacy path uses,
+    and completion is checkpointed in the supervisor's journal so an
+    interrupted ``inject --resume`` skips a finished campaign entirely.
+    Returns ``None`` when the campaign failed permanently within the
+    supervisor's failure budget (the caller reads the particulars off
+    ``supervisor.report``); raises
+    :class:`~repro.errors.ExecutionFailed` beyond it.
+    """
+    config = config or DEFAULT_CONFIG
+    base_sim = sim or SimConfig(max_instructions=4000)
+    name = (workload.name if isinstance(workload, WorkloadMix)
+            else "+".join(workload))
+    programs = tuple(workload.programs if isinstance(workload, WorkloadMix)
+                     else workload)
+    job = CampaignJob(workload_name=name, programs=programs, policy=policy,
+                      config=config, sim=base_sim, injections=injections,
+                      structures=tuple(structures), seed=seed,
+                      classify_jobs=classify_jobs)
+
+    cache_path: Optional[Path] = None
+    if cache_dir is not None:
+        cache_path = (_open_campaign_cache(cache_dir)
+                      / f"campaign-{job.digest()}.json")
+
+    collected: Dict[str, InjectionCampaignResult] = {}
+
+    def commit(task: CampaignJob, payload: Dict[str, object]) -> None:
+        result = _campaign_from_payload(payload)
+        collected[task.digest()] = result
+        if cache_path is not None:
+            _store_campaign(cache_path, result)
+
+    def already_done(task: CampaignJob) -> bool:
+        if cache_path is None:
+            return False
+        cached = _load_campaign(cache_path)
+        if cached is None:
+            return False
+        collected[task.digest()] = cached
+        return True
+
+    supervisor.run([job], commit=commit, already_done=already_done)
+    return collected.get(job.digest())

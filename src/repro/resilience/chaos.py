@@ -1,0 +1,158 @@
+"""Chaos harness: the framework's own fault injector.
+
+The simulator studies how hardware survives transient faults; this module
+makes the *execution substrate* suffer transient faults, so the recovery
+machinery in :mod:`repro.resilience.supervisor` can be proven rather than
+trusted.  A spec in the ``REPRO_CHAOS`` environment variable schedules
+worker misbehaviour; the variable is read inside the worker process (it is
+inherited across the fork), so the supervisor itself stays oblivious —
+exactly like a real flaky machine.
+
+Spec grammar (comma-separated rules)::
+
+    REPRO_CHAOS = rule ("," rule)*
+    rule        = mode ":" match [":" attempts [":" seconds]]
+    mode        = "crash" | "hang" | "corrupt" | "raise"
+    match       = substring of the job label, or "*" for every job
+    attempts    = misbehave while the job's attempt number is below this
+                  ("*" = on every attempt; default 1 = first attempt only)
+    seconds     = hang duration (hang mode only; default 3600)
+
+Examples::
+
+    crash:4-MEM-A            # kill the worker on 4-MEM-A's first attempt
+    hang:fig5:1:30           # first attempt of any fig5 job stalls 30s
+    corrupt:*:*              # every job returns a garbage payload, always
+    raise:2-CPU-A:2          # raise on 2-CPU-A's first two attempts
+
+``crash`` calls :func:`os._exit` (a hard worker death, breaking the process
+pool), ``hang`` sleeps (tripping the per-job timeout), ``corrupt`` makes
+the worker return an unparseable payload, and ``raise`` throws an ordinary
+exception (the soft-failure path).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.errors import ConfigError, ReproError
+
+#: Environment variable holding the chaos spec (unset/empty = chaos off).
+CHAOS_ENV_VAR = "REPRO_CHAOS"
+
+MODES = ("crash", "hang", "corrupt", "raise")
+
+#: Exit status of a chaos-crashed worker (distinctive in process tables).
+CRASH_EXIT_CODE = 23
+
+#: The payload a ``corrupt`` rule substitutes for the real result.  It is
+#: deliberately schema-shaped garbage: a dict, so it survives pickling,
+#: but one no ``from_payload`` can parse.
+CORRUPT_PAYLOAD = {"__chaos__": "corrupted payload"}
+
+
+class ChaosInjectedError(ReproError):
+    """The failure a ``raise`` rule injects into a worker."""
+
+
+@dataclass(frozen=True)
+class ChaosRule:
+    """One scheduled misbehaviour: what, on which jobs, until when."""
+
+    mode: str
+    match: str
+    attempts: Optional[int] = 1  # fire while attempt < attempts; None = always
+    seconds: float = 3600.0      # hang duration
+
+    def applies(self, label: str, attempt: int) -> bool:
+        if self.match != "*" and self.match not in label:
+            return False
+        return self.attempts is None or attempt < self.attempts
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """The parsed ``REPRO_CHAOS`` schedule; empty rules = chaos off."""
+
+    rules: Tuple[ChaosRule, ...] = ()
+
+    def __bool__(self) -> bool:
+        return bool(self.rules)
+
+    @classmethod
+    def parse(cls, spec: str) -> "ChaosSpec":
+        rules = []
+        for raw in spec.split(","):
+            raw = raw.strip()
+            if not raw:
+                continue
+            parts = raw.split(":")
+            if len(parts) < 2 or len(parts) > 4:
+                raise ConfigError(
+                    f"bad chaos rule {raw!r}: want mode:match[:attempts"
+                    f"[:seconds]]")
+            mode, match = parts[0], parts[1]
+            if mode not in MODES:
+                raise ConfigError(f"bad chaos mode {mode!r}; "
+                                  f"known: {', '.join(MODES)}")
+            if not match:
+                raise ConfigError(f"bad chaos rule {raw!r}: empty match")
+            attempts: Optional[int] = 1
+            if len(parts) >= 3:
+                if parts[2] == "*":
+                    attempts = None
+                else:
+                    try:
+                        attempts = int(parts[2])
+                    except ValueError:
+                        raise ConfigError(
+                            f"bad chaos attempts {parts[2]!r} in {raw!r}: "
+                            f"want an integer or '*'") from None
+                    if attempts < 1:
+                        raise ConfigError(
+                            f"chaos attempts must be >= 1 in {raw!r}")
+            seconds = 3600.0
+            if len(parts) == 4:
+                try:
+                    seconds = float(parts[3])
+                except ValueError:
+                    raise ConfigError(
+                        f"bad chaos seconds {parts[3]!r} in {raw!r}") from None
+                if seconds < 0:
+                    raise ConfigError(f"chaos seconds must be >= 0 in {raw!r}")
+            rules.append(ChaosRule(mode=mode, match=match,
+                                   attempts=attempts, seconds=seconds))
+        return cls(rules=tuple(rules))
+
+    @classmethod
+    def from_env(cls) -> "ChaosSpec":
+        raw = os.environ.get(CHAOS_ENV_VAR)
+        if raw is None or not raw.strip():
+            return cls()
+        return cls.parse(raw)
+
+    def rule_for(self, label: str, attempt: int) -> Optional[ChaosRule]:
+        """The first rule scheduled for this (job, attempt), if any."""
+        for rule in self.rules:
+            if rule.applies(label, attempt):
+                return rule
+        return None
+
+
+def misbehave(rule: ChaosRule, label: str) -> None:
+    """Act out a non-``corrupt`` rule inside the worker process.
+
+    ``crash`` never returns; ``hang`` returns after its sleep (the job then
+    proceeds normally — a stall, not a death — so an un-timed-out hang is
+    merely slow, like real NFS weather); ``raise`` throws.  ``corrupt`` is
+    handled by the caller because it mangles the *result*, not the run.
+    """
+    if rule.mode == "crash":
+        os._exit(CRASH_EXIT_CODE)
+    elif rule.mode == "hang":
+        time.sleep(rule.seconds)
+    elif rule.mode == "raise":
+        raise ChaosInjectedError(f"chaos: injected failure for {label}")

@@ -1,8 +1,11 @@
 """Command-line interface tests."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
+from repro.resilience import CHAOS_ENV_VAR
 
 
 class TestList:
@@ -129,3 +132,110 @@ class TestZeroStrikeInject:
         out = capsys.readouterr().out
         assert "0 strikes/structure" in out
         assert "SDC rate" in out
+
+
+class TestArgumentValidation:
+    """Nonsense values die at the parser, with the flag named in the error."""
+
+    @pytest.mark.parametrize("argv,flag", [
+        (["inject", "2-CPU-A", "--strikes", "-5"], "--strikes"),
+        (["inject", "2-CPU-A", "-n", "0"], "-n/--instructions"),
+        (["inject", "2-CPU-A", "-n", "many"], "-n/--instructions"),
+        (["run", "2-CPU-A", "-n", "-100"], "-n/--instructions"),
+        (["rmt", "mcf", "-n", "0"], "-n/--instructions"),
+        (["rmt", "mcf", "--strikes", "-1"], "--strikes"),
+        (["figure", "1", "--jobs", "-2"], "--jobs"),
+        (["figure", "1", "--scale", "0"], "--scale"),
+        (["reproduce", "--job-timeout", "0"], "--job-timeout"),
+        (["reproduce", "--retries", "-1"], "--retries"),
+        (["reproduce", "--max-failures", "-3"], "--max-failures"),
+    ])
+    def test_rejects_bad_values(self, capsys, argv, flag):
+        assert main(argv) == 2
+        assert flag in capsys.readouterr().err
+
+    def test_resume_requires_cache_dir(self, capsys, tmp_path):
+        assert main(["reproduce", "--only", "fig1_avf_profile",
+                     "--scale", "200", "--resume",
+                     "--out", str(tmp_path / "out")]) == 2
+        assert "--cache-dir" in capsys.readouterr().err
+
+
+class TestResilientCli:
+    """End-to-end chaos acceptance: the full CLI under injected faults."""
+
+    BASE = ["reproduce", "--only", "fig1_avf_profile", "--scale", "250"]
+
+    def _run(self, tmp_path, name, *extra):
+        return self.BASE + ["--out", str(tmp_path / name)] + list(extra)
+
+    def test_chaos_recovered_run_matches_clean_run(self, capsys, tmp_path,
+                                                   monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "250")
+        assert main(self._run(tmp_path, "clean")) == 0
+        capsys.readouterr()
+        # One crash, one hang and one corrupt payload, each on a first
+        # attempt only: retries + the job timeout must absorb all three.
+        monkeypatch.setenv(CHAOS_ENV_VAR,
+                           "crash:4-MEM-A:1,hang:4-CPU-A:1:60,"
+                           "corrupt:4-MIX-A:1")
+        assert main(self._run(tmp_path, "chaotic", "--jobs", "2",
+                              "--retries", "2", "--job-timeout", "5")) == 0
+        capsys.readouterr()
+        clean = (tmp_path / "clean" / "fig1_avf_profile.txt").read_bytes()
+        chaotic = (tmp_path / "chaotic" / "fig1_avf_profile.txt").read_bytes()
+        assert chaotic == clean
+
+    def test_unrecoverable_job_degrades_with_exit_3(self, capsys, tmp_path,
+                                                    monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "250")
+        monkeypatch.setenv(CHAOS_ENV_VAR, "raise:4-MEM-A:*")
+        failures_path = tmp_path / "failures.json"
+        assert main(self._run(tmp_path, "out", "--jobs", "2",
+                              "--retries", "1", "--max-failures", "2",
+                              "--failures-out", str(failures_path))) == 3
+        err = capsys.readouterr().err
+        assert "degraded" in err
+        text = (tmp_path / "out" / "fig1_avf_profile.txt").read_text()
+        assert "MISSING(4-MEM-A/ICOUNT/seed1)" in text
+        failures = json.loads(failures_path.read_text())
+        assert [f["label"] for f in failures["failures"]] == \
+            ["4-MEM-A/ICOUNT/seed1"]
+
+    def test_budget_exhausted_aborts_with_exit_2(self, capsys, tmp_path,
+                                                 monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "250")
+        monkeypatch.setenv(CHAOS_ENV_VAR, "raise:4-MEM-A:*")
+        assert main(self._run(tmp_path, "out", "--jobs", "2",
+                              "--retries", "0", "--max-failures", "0")) == 2
+        assert "exceeded the budget" in capsys.readouterr().err
+
+    def test_resume_reexecutes_nothing(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "250")
+        cache = str(tmp_path / "cache")
+        assert main(self._run(tmp_path, "first", "--jobs", "2",
+                              "--cache-dir", cache, "--retries", "1")) == 0
+        assert "simulated 6 runs" in capsys.readouterr().out
+        journal = tmp_path / "cache" / "journal-reproduce.jsonl"
+        assert journal.exists()
+        assert main(self._run(tmp_path, "second", "--jobs", "2",
+                              "--cache-dir", cache, "--resume")) == 0
+        assert "simulated 0 runs (6 loaded from cache)" in \
+            capsys.readouterr().out
+
+    def test_figure_degrades_with_missing_marker(self, capsys, tmp_path,
+                                                 monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "250")
+        monkeypatch.setenv(CHAOS_ENV_VAR, "raise:4-MEM-A:*")
+        assert main(["figure", "1", "--scale", "250", "--jobs", "2",
+                     "--retries", "0", "--max-failures", "2"]) == 3
+        out = capsys.readouterr()
+        assert "MISSING(4-MEM-A/ICOUNT/seed1)" in out.out
+        assert "degraded" in out.err
+
+    def test_inject_supervised_matches_unsupervised(self, capsys, tmp_path):
+        argv = ["inject", "2-CPU-A", "--strikes", "200", "-n", "300"]
+        assert main(argv) == 0
+        plain = capsys.readouterr().out
+        assert main(argv + ["--retries", "1"]) == 0
+        assert capsys.readouterr().out == plain
