@@ -2,7 +2,8 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-chaos bench reproduce reproduce-smoke examples clean
+.PHONY: install test test-chaos bench bench-kernel bench-kernel-check \
+	reproduce reproduce-smoke examples clean
 
 SMOKE_DIR ?= .smoke
 
@@ -22,6 +23,32 @@ test-chaos:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+# Cycle-kernel micro-benchmark with machine-readable output.  Minimums are
+# what the regression check reads, so force enough rounds that each
+# benchmark reliably touches its floor despite scheduler noise.
+bench-kernel:
+	mkdir -p benchmarks/out
+	PYTHONPATH=src PYTHONHASHSEED=0 $(PYTHON) -m pytest \
+		benchmarks/test_sim_kernel.py --benchmark-only \
+		--benchmark-min-rounds=7 \
+		--benchmark-json=benchmarks/out/kernel.json
+
+# Guard against kernel slowdowns: compare fresh runs to the committed
+# baseline, normalising out machine speed via the trace-generation
+# benchmark (which exercises no simulator code).  Two candidate runs are
+# taken and the checker keeps the per-benchmark best, so a one-off
+# scheduler spike in either run cannot fail the gate while a sustained
+# regression still does.
+bench-kernel-check: bench-kernel
+	PYTHONPATH=src PYTHONHASHSEED=0 $(PYTHON) -m pytest \
+		benchmarks/test_sim_kernel.py --benchmark-only \
+		--benchmark-min-rounds=7 \
+		--benchmark-json=benchmarks/out/kernel-rerun.json
+	$(PYTHON) tools/check_bench_regression.py BENCH_kernel.json \
+		benchmarks/out/kernel.json benchmarks/out/kernel-rerun.json \
+		--threshold 0.15 \
+		--control test_trace_generation_throughput
 
 reproduce:
 	$(PYTHON) -m repro.cli reproduce --out reproduction

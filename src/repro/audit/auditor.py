@@ -26,7 +26,8 @@ class SimAuditor:
 
     def __init__(self, check_every: int = 0,
                  trace_path: Optional[Union[str, Path]] = None,
-                 checker: Optional[InvariantChecker] = None) -> None:
+                 checker: Optional[InvariantChecker] = None,
+                 trace_writer: Optional[TraceWriter] = None) -> None:
         if checker is not None:
             self.checker: Optional[InvariantChecker] = checker
         else:
@@ -34,8 +35,10 @@ class SimAuditor:
         self.sample_every = (self.checker.every if self.checker is not None
                              else DEFAULT_SAMPLE_INTERVAL)
         self.timeline = OccupancyTimeline()
-        self.trace: Optional[TraceWriter] = (
-            TraceWriter(trace_path) if trace_path is not None else None)
+        if trace_writer is not None:
+            self.trace: Optional[TraceWriter] = trace_writer
+        else:
+            self.trace = TraceWriter(trace_path) if trace_path is not None else None
         self.counters = StageCounters()
         self.finalized = False
 
@@ -51,6 +54,10 @@ class SimAuditor:
                                 counters=self.counters.to_payload())
         if self.checker is not None:
             self._checked(core, final=False)
+
+    def on_finalize(self, core) -> None:
+        """Probe-bus lifecycle hook: the run drained, run the final audit."""
+        self.finalize(core)
 
     # -- end of run ----------------------------------------------------------------
 

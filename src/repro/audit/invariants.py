@@ -22,7 +22,8 @@ from __future__ import annotations
 import math
 from typing import Callable, Iterable, Optional, Sequence, Tuple
 
-from repro.avf.structures import PRIVATE_STRUCTURES, SHARED_STRUCTURES, Structure
+from repro.avf.structures import (PRIVATE_STRUCTURES, PROBE_STRUCTURES,
+                                  SHARED_STRUCTURES, Structure)
 from repro.errors import InvariantViolation
 
 #: One audit: raises InvariantViolation when its law does not hold.
@@ -109,9 +110,13 @@ def check_commit_agreement(core, cycle: int) -> None:
 def check_interval_replay(core, cycle: int) -> None:
     """Summed ledgers match an independent replay of the recorded intervals.
 
-    Only audits accounts whose every accrual went through ``add_interval``
-    (cache/TLB observers record aggregate samples, not intervals, and are
-    skipped).  A double-counted ledger entry shows up here exactly: the
+    Two interval sources are replayed.  The probe bus's
+    :class:`~repro.instrument.recorder.IntervalRecorder` (attached when
+    ``SimConfig(record_intervals=True)``) covers every bus-fed structure;
+    account-level logs cover ledgers driven directly with
+    ``add_interval(record_intervals=True)`` in unit tests.  Cache/TLB
+    observers record aggregate samples, not intervals, and are skipped in
+    both.  A double-counted ledger entry shows up here exactly: the
     replayed sum no longer matches.  Cost is proportional to the number of
     recorded intervals, so the scheduler runs this only on the final check.
     """
@@ -119,22 +124,45 @@ def check_interval_replay(core, cycle: int) -> None:
         replayed = account.replay_totals()
         if replayed is None:
             continue
-        ace_sums, unace_sums = replayed
-        for ledger_name, ledger, replay in (
-                ("ACE", account.ace_cycles, ace_sums),
-                ("un-ACE", account.unace_cycles, unace_sums)):
-            for thread_id in set(ledger) | set(replay):
-                recorded = ledger.get(thread_id, 0.0)
-                independent = replay.get(thread_id, 0.0)
-                if not math.isclose(recorded, independent,
-                                    rel_tol=_REL_EPS,
-                                    abs_tol=_tolerance(independent)):
-                    raise InvariantViolation(
-                        "interval-replay", account.name, cycle,
-                        recorded - independent,
-                        f"{ledger_name} ledger of thread {thread_id} holds "
-                        f"{recorded:.3f} entry-cycles, interval replay "
-                        f"yields {independent:.3f}")
+        _compare_replay(account, replayed,
+                        set(account.ace_cycles) | set(account.unace_cycles)
+                        | set(replayed[0]) | set(replayed[1]), cycle)
+    recorder = getattr(getattr(core, "instruments", None), "recorder", None)
+    if recorder is None:
+        return
+    replay_by_structure = {s: recorder.replay_totals(s)
+                           for s in PROBE_STRUCTURES}
+    for structure, tid, account in core.engine.iter_accounts():
+        if structure not in replay_by_structure:
+            continue
+        replayed = replay_by_structure[structure]
+        if tid is None:
+            thread_ids = (set(account.ace_cycles) | set(account.unace_cycles)
+                          | set(replayed[0]) | set(replayed[1]))
+        else:
+            thread_ids = {tid}
+        _compare_replay(account, replayed, thread_ids, cycle)
+
+
+def _compare_replay(account, replayed, thread_ids: Iterable[int],
+                    cycle: int) -> None:
+    """Raise unless the account's ledgers equal the replayed per-thread sums."""
+    ace_sums, unace_sums = replayed
+    for ledger_name, ledger, replay in (
+            ("ACE", account.ace_cycles, ace_sums),
+            ("un-ACE", account.unace_cycles, unace_sums)):
+        for thread_id in thread_ids:
+            recorded = ledger.get(thread_id, 0.0)
+            independent = replay.get(thread_id, 0.0)
+            if not math.isclose(recorded, independent,
+                                rel_tol=_REL_EPS,
+                                abs_tol=_tolerance(independent)):
+                raise InvariantViolation(
+                    "interval-replay", account.name, cycle,
+                    recorded - independent,
+                    f"{ledger_name} ledger of thread {thread_id} holds "
+                    f"{recorded:.3f} entry-cycles, interval replay "
+                    f"yields {independent:.3f}")
 
 
 def audit_report(report) -> None:

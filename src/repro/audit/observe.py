@@ -109,6 +109,10 @@ class TraceWriter:
             self._fh.close()
             self._fh = None
 
+    def on_finalize(self, core) -> None:
+        """Probe-bus lifecycle hook: flush and close the sink (idempotent)."""
+        self.close()
+
     def __enter__(self) -> "TraceWriter":
         return self
 

@@ -28,7 +28,8 @@ class VulnerabilityAccount:
     """
 
     __slots__ = ("name", "capacity", "ace_cycles", "unace_cycles",
-                 "window_start", "intervals", "has_direct_adds")
+                 "window_start", "intervals", "has_direct_adds",
+                 "_threads_cache")
 
     def __init__(self, name: str, capacity: int,
                  record_intervals: bool = False) -> None:
@@ -44,6 +45,7 @@ class VulnerabilityAccount:
         #: the recorded intervals then no longer cover the whole ledger and
         #: replay-based audits must skip this account.
         self.has_direct_adds = False
+        self._threads_cache: "tuple[int, ...] | None" = ()
 
     # -- recording ---------------------------------------------------------------
 
@@ -60,6 +62,8 @@ class VulnerabilityAccount:
         if entry_cycles == 0:
             return
         ledger = self.ace_cycles if ace else self.unace_cycles
+        if thread_id not in ledger:
+            self._threads_cache = None
         ledger[thread_id] = ledger.get(thread_id, 0.0) + entry_cycles
 
     def add_interval(self, thread_id: int, start: int, end: int, ace: bool,
@@ -69,6 +73,10 @@ class VulnerabilityAccount:
             raise StructureError(
                 f"{self.name}: reversed residency interval "
                 f"[{start}, {end}) for thread {thread_id}")
+        if not 0.0 <= fraction <= 1.0:
+            raise StructureError(
+                f"{self.name}: residency fraction {fraction} outside [0, 1] "
+                f"for thread {thread_id} over [{start}, {end})")
         lo = max(start, self.window_start)
         if end <= lo:
             return
@@ -88,6 +96,7 @@ class VulnerabilityAccount:
             self.intervals.clear()
         self.window_start = cycle
         self.has_direct_adds = False
+        self._threads_cache = ()
 
     # -- reduction ---------------------------------------------------------------
 
@@ -147,6 +156,14 @@ class VulnerabilityAccount:
         return min(occupied / (self.capacity * cycles), 1.0)
 
     def threads(self) -> Iterable[int]:
-        seen = set(self.ace_cycles) | set(self.unace_cycles)
-        seen.discard(NO_THREAD)
-        return sorted(seen)
+        """Sorted thread ids with recorded residency (cached between writes).
+
+        The sort result is memoised and invalidated only when a ledger gains
+        a new thread key — re-sorting on every call was pure waste, since
+        the thread population stabilises within the first few cycles.
+        """
+        if self._threads_cache is None:
+            seen = set(self.ace_cycles) | set(self.unace_cycles)
+            seen.discard(NO_THREAD)
+            self._threads_cache = tuple(sorted(seen))
+        return self._threads_cache

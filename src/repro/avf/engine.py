@@ -17,6 +17,7 @@ from repro.avf.report import AvfReport
 from repro.avf.structures import PRIVATE_STRUCTURES, SHARED_STRUCTURES, Structure
 from repro.config import MachineConfig
 from repro.errors import StructureError
+from repro.instrument.recorder import reg_lifetime_segments
 
 
 class AvfEngine:
@@ -61,7 +62,12 @@ class AvfEngine:
     def occupy(self, structure: Structure, thread_id: int, start: int, end: int,
                ace: bool) -> None:
         """Record one entry of ``structure`` occupied over ``[start, end)``."""
-        self.account(structure, thread_id).add_interval(thread_id, start, end, ace)
+        # Hot path (every structure deallocation): resolve the account with
+        # two dict probes instead of a frozenset test plus a method call.
+        account = self._shared.get(structure)
+        if account is None:
+            account = self._private[structure][thread_id]
+        account.add_interval(thread_id, start, end, ace)
 
     def fu_busy_cycle(self, thread_id: int, ace: bool, cycle: int = -1) -> None:
         """Record one functional unit busy for one cycle."""
@@ -80,16 +86,9 @@ class AvfEngine:
         ACE consumers; the remainder until ``freed`` is un-ACE.
         """
         account = self._shared[Structure.REG]
-        if written < 0:  # squashed before producing a value
-            account.add_interval(thread_id, alloc, freed, ace=False)
-            return
-        account.add_interval(thread_id, alloc, min(written, freed), ace=False)
-        if ace and last_read > written:
-            end_ace = min(last_read, freed)
-            account.add_interval(thread_id, written, end_ace, ace=True)
-            account.add_interval(thread_id, end_ace, freed, ace=False)
-        else:
-            account.add_interval(thread_id, min(written, freed), freed, ace=False)
+        for start, end, seg_ace in reg_lifetime_segments(
+                alloc, written, last_read, freed, ace):
+            account.add_interval(thread_id, start, end, seg_ace)
 
     def reset(self, cycle: int) -> None:
         """Zero all ledgers (end-of-warmup)."""
@@ -98,6 +97,10 @@ class AvfEngine:
         for per_thread in self._private.values():
             for account in per_thread.values():
                 account.reset(cycle)
+
+    def on_reset(self, cycle: int) -> None:
+        """Probe-bus lifecycle hook: the measurement window restarted."""
+        self.reset(cycle)
 
     # -- reduction -------------------------------------------------------------------
 

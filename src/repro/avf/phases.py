@@ -100,6 +100,14 @@ class PhaseTracker:
             self._emit(cycle)
         return self.series
 
+    # -- probe-bus lifecycle hooks ---------------------------------------------
+
+    def on_cycle(self, core) -> None:
+        self.tick(core.cycle)
+
+    def on_finalize(self, core) -> None:
+        self.finalize(core.cycle)
+
 
 def phase_statistics(series: PhaseSeries, structure: Structure) -> PhaseStatistics:
     """Variability and last-value predictability of one structure's AVF."""

@@ -1,48 +1,21 @@
-"""The microarchitecture structures whose vulnerability the paper profiles.
+"""Compatibility re-export: the structure taxonomy moved to the probe layer.
 
-Figure 1 groups them as *shared pipeline structures* (IQ, FU, register
-file), *shared memory structures* (DL1 data, DL1 tag, DTLB) and *non-shared
-(per-thread) structures* (ROB, LSQ data, LSQ tag).
+The canonical definitions live in :mod:`repro.instrument.structures`, so
+the instrumentation bus stays importable without the AVF maths; importing
+them from here keeps every historical ``repro.avf.structures`` call site
+working unchanged.
 """
 
 from __future__ import annotations
 
-from enum import Enum
+from repro.instrument.structures import (FIGURE1_ORDER, PRIVATE_STRUCTURES,
+                                         PROBE_STRUCTURES, SHARED_STRUCTURES,
+                                         Structure)
 
-
-class Structure(Enum):
-    """AVF-tracked hardware structures (paper Figures 1–8)."""
-
-    IQ = "IQ"
-    FU = "FU"
-    REG = "Reg"
-    DL1_DATA = "DL1_data"
-    DL1_TAG = "DL1_tag"
-    DTLB = "DTLB"
-    ROB = "ROB"
-    LSQ_DATA = "LSQ_data"
-    LSQ_TAG = "LSQ_tag"
-
-    def __str__(self) -> str:
-        return self.value
-
-
-#: Structures physically shared by all SMT contexts: one copy in the machine,
-#: per-thread contributions sum to the structure's AVF.
-SHARED_STRUCTURES = frozenset({
-    Structure.IQ, Structure.FU, Structure.REG,
-    Structure.DL1_DATA, Structure.DL1_TAG, Structure.DTLB,
-})
-
-#: Per-thread (replicated) structures: each context owns a private copy; the
-#: reported structure AVF is the mean over the active contexts.
-PRIVATE_STRUCTURES = frozenset({
-    Structure.ROB, Structure.LSQ_DATA, Structure.LSQ_TAG,
-})
-
-#: Figure 1 display order.
-FIGURE1_ORDER = (
-    Structure.IQ, Structure.FU, Structure.REG,
-    Structure.DL1_DATA, Structure.DL1_TAG,
-    Structure.ROB, Structure.LSQ_DATA, Structure.LSQ_TAG,
-)
+__all__ = [
+    "Structure",
+    "SHARED_STRUCTURES",
+    "PRIVATE_STRUCTURES",
+    "PROBE_STRUCTURES",
+    "FIGURE1_ORDER",
+]

@@ -13,14 +13,12 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.avf.account import VulnerabilityAccount
 from repro.avf.structures import SHARED_STRUCTURES, Structure
 from repro.config import DEFAULT_CONFIG, MachineConfig, SimConfig
 from repro.errors import ReproError
 from repro.fetch.base import FetchPolicy
 from repro.fetch.registry import create_policy
-from repro.pipeline.core import SMTCore
-from repro.sim.simulator import _functional_warmup, build_traces
+from repro.sim.session import SimSession
 from repro.workload.mixes import TABLE2_MIXES, WorkloadMix
 
 #: Structures the campaign can inject into (interval-logged pipeline state).
@@ -86,9 +84,12 @@ class InjectionCampaignResult:
         return "\n".join(lines)
 
 
-def _occupancy_timelines(accounts: Sequence[VulnerabilityAccount],
-                         cycles: int) -> tuple:
+def _occupancy_timelines(sources: Sequence[object], cycles: int) -> tuple:
     """Per-cycle ACE and occupied entry counts from raw intervals.
+
+    Each source is either a :class:`VulnerabilityAccount` recorded with
+    ``record_intervals=True`` or a raw interval list (as produced by
+    :class:`repro.instrument.IntervalRecorder`).
 
     Uses difference arrays: an interval [start, end) bumps its class's
     count at ``start`` and drops it at ``end``.  This path is independent
@@ -96,11 +97,12 @@ def _occupancy_timelines(accounts: Sequence[VulnerabilityAccount],
     """
     ace_diff = np.zeros(cycles + 1, dtype=np.int64)
     occ_diff = np.zeros(cycles + 1, dtype=np.int64)
-    for account in accounts:
-        if account.intervals is None:
+    for source in sources:
+        intervals = getattr(source, "intervals", source)
+        if intervals is None:
             raise ReproError(
                 "fault injection needs SimConfig(record_intervals=True)")
-        for _thread, start, end, ace in account.intervals:
+        for _thread, start, end, ace in intervals:
             lo, hi = max(start, 0), min(end, cycles)
             if hi <= lo:
                 continue
@@ -267,12 +269,13 @@ def run_campaign(workload: Union[WorkloadMix, Sequence[str]],
         if cached is not None:
             return cached
 
-    traces = build_traces(workload, run_sim)
-    core = SMTCore(traces, config, policy_obj, run_sim)
-    if run_sim.functional_warmup:
-        _functional_warmup(core, traces)
-    cycles = core.run()
-    report = core.engine.report(cycles)
+    session = SimSession(workload, policy=policy_obj, config=config,
+                         sim=run_sim)
+    sim_result = session.run()
+    cycles = sim_result.cycles
+    report = sim_result.avf
+    engine = session.engine
+    recorder = session.recorder
 
     rng = np.random.Generator(np.random.PCG64(seed))
     result = InjectionCampaignResult(workload=name, cycles=cycles,
@@ -283,19 +286,18 @@ def run_campaign(workload: Union[WorkloadMix, Sequence[str]],
     strikes: Dict[Structure, Tuple[np.ndarray, np.ndarray, List, int]] = {}
     for structure in structures:
         if structure in SHARED_STRUCTURES:
-            accounts = [core.engine.account(structure)]
-            capacity = accounts[0].capacity
+            capacity = engine.account(structure).capacity
         else:
-            accounts = [core.engine.account(structure, tid)
-                        for tid in range(core.num_threads)]
-            capacity = accounts[0].capacity * core.num_threads
+            capacity = (engine.account(structure, 0).capacity
+                        * session.core.num_threads)
         strike_cycles = rng.integers(0, cycles, size=injections)
         strike_slots = rng.integers(0, capacity, size=injections)
-        strikes[structure] = (strike_cycles, strike_slots, accounts, capacity)
+        sources = [recorder.intervals(structure)]
+        strikes[structure] = (strike_cycles, strike_slots, sources, capacity)
 
     def classify(structure: Structure) -> StructureCampaign:
-        strike_cycles, strike_slots, accounts, _capacity = strikes[structure]
-        ace_at, occ_at = _occupancy_timelines(accounts, cycles)
+        strike_cycles, strike_slots, sources, _capacity = strikes[structure]
+        ace_at, occ_at = _occupancy_timelines(sources, cycles)
         # A strike below the ACE count corrupts; below the occupancy count it
         # lands in an un-ACE entry; otherwise the slot was idle.  ACE
         # intervals are a subset of occupancy, so the counts nest exactly as

@@ -14,12 +14,12 @@ materialised traces make replay exact.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
-from repro.avf.engine import AvfEngine
 from repro.config import MachineConfig, SimConfig
 from repro.errors import SimulationError
 from repro.fetch.base import FetchPolicy
+from repro.instrument import Instrumentation
 from repro.isa.instruction import DynInstr
 from repro.isa.opcodes import OpClass
 from repro.memory.hierarchy import MemoryHierarchy
@@ -34,33 +34,42 @@ _Event = Tuple[DynInstr, int, bool, bool]
 
 
 class SMTCore:
-    """One simulated SMT processor executing a set of thread traces."""
+    """One simulated SMT processor executing a set of thread traces.
+
+    The core is observer-agnostic: all residency accounting flows through
+    ``instruments.probe`` (a :class:`~repro.instrument.ResidencyProbe`),
+    and per-cycle/lifecycle observers (auditor, phase tracker, trace
+    writer) arrive as pre-resolved hook tuples on the same
+    :class:`~repro.instrument.Instrumentation` container.  Wiring lives in
+    :class:`repro.sim.session.SimSession` — the core never imports
+    ``repro.avf`` or ``repro.audit``.
+    """
 
     def __init__(self, traces: List[ThreadTrace], config: MachineConfig,
                  policy: FetchPolicy, sim: SimConfig,
-                 trace_out: Optional[str] = None) -> None:
+                 instruments: Instrumentation) -> None:
         self.config = config
         self.policy = policy
         self.sim = sim
         self.num_threads = len(traces)
-        self.engine = AvfEngine(config, self.num_threads,
-                                record_intervals=sim.record_intervals)
+        self.instruments = instruments
+        probe = instruments.probe
         self.mem = MemoryHierarchy(config,
-                                   dl1_observer=self.engine.dl1_observer,
-                                   dtlb_observer=self.engine.dtlb_observer)
+                                   dl1_observer=instruments.dl1_observer,
+                                   dtlb_observer=instruments.dtlb_observer)
         self.threads = [
-            ThreadContext(tid, trace, config, self.engine, sim.seed)
+            ThreadContext(tid, trace, config, probe, sim.seed)
             for tid, trace in enumerate(traces)
         ]
-        self._iq = SharedIssueQueue(config.iq_entries, self.engine)
+        self._iq = SharedIssueQueue(config.iq_entries, probe)
         # Physical file = per-thread architectural backing + shared rename
         # pool (M-Sim sizing); see MachineConfig.int_phys_regs.
         from repro.workload.generator import NUM_FP_REGS, NUM_INT_REGS
         self._regfile = PhysicalRegisterFile(
             config.int_phys_regs + NUM_INT_REGS * self.num_threads,
             config.fp_phys_regs + NUM_FP_REGS * self.num_threads,
-            self.num_threads, self.engine)
-        self._fu_pool = FunctionalUnitPool(config, self.engine)
+            self.num_threads, probe)
+        self._fu_pool = FunctionalUnitPool(config, probe)
         self._events: Dict[int, List[_Event]] = {}
         # Issue wakeup: phys reg -> [(instr, stamp), ...] waiting on it.
         self._waiters: Dict[int, List[Tuple[DynInstr, int]]] = {}
@@ -69,6 +78,13 @@ class SMTCore:
         self.total_committed = 0
         self._commit_rr = 0
         self._dispatch_rr = 0
+        # Round-robin orders are pure functions of (counter % n): precompute
+        # all n rotations instead of building a fresh list twice per cycle.
+        self._rotations: List[List[int]] = [
+            [(start + i) % self.num_threads for i in range(self.num_threads)]
+            for start in range(self.num_threads)
+        ]
+        self._cycle_hooks = instruments.cycle_hooks
 
         # Statistics.
         self.mispredict_squashes = 0
@@ -78,16 +94,10 @@ class SMTCore:
         self._warmup_done = sim.warmup_instructions == 0
         self._committed_at_measure_start = [0] * self.num_threads
 
-        self.phase_tracker = None
-        if sim.phase_window_cycles > 0:
-            from repro.avf.phases import PhaseTracker
-            self.phase_tracker = PhaseTracker(self.engine, sim.phase_window_cycles)
-
-        self.auditor = None
-        if sim.check_invariants > 0 or trace_out is not None:
-            from repro.audit.auditor import SimAuditor
-            self.auditor = SimAuditor(check_every=sim.check_invariants,
-                                      trace_path=trace_out)
+    @property
+    def engine(self):
+        """The residency ledger exposed for reporting and audits."""
+        return self.instruments.ledger
 
     # -- public queries used by fetch policies -----------------------------------------
 
@@ -141,15 +151,12 @@ class SMTCore:
             self._fu_pool.tick(self.cycle)
             self._rename_dispatch()
             self._fetch()
-            if self.phase_tracker is not None:
-                self.phase_tracker.tick(self.cycle)
-            if self.auditor is not None:
-                self.auditor.on_cycle(self)
+            if self._cycle_hooks:
+                for hook in self._cycle_hooks:
+                    hook.on_cycle(self)
         self._drain()
-        if self.phase_tracker is not None:
-            self.phase_tracker.finalize(self.cycle)
-        if self.auditor is not None:
-            self.auditor.finalize(self)
+        for hook in self.instruments.finalize_hooks:
+            hook.on_finalize(self)
         return self.measured_cycles
 
     @property
@@ -195,7 +202,8 @@ class SMTCore:
             return
         self._warmup_done = True
         self.measure_start_cycle = self.cycle
-        self.engine.reset(self.cycle)
+        for hook in self.instruments.reset_hooks:
+            hook.on_reset(self.cycle)
         self._committed_at_measure_start = [t.committed for t in self.threads]
 
     # -- writeback -----------------------------------------------------------------------------
@@ -209,10 +217,10 @@ class SMTCore:
                 t.outstanding_l1d -= 1
             if l2_miss:
                 t.outstanding_l2 -= 1
-            if instr.is_load or instr.op is OpClass.PREFETCH:
-                self.policy.on_load_resolved(self, instr)
             if instr.squashed or instr.fetch_stamp != stamp:
                 continue  # stale event from a squashed-and-refetched instance
+            if instr.is_load or instr.op is OpClass.PREFETCH:
+                self.policy.on_load_resolved(self, instr)
             instr.completed_at = self.cycle
             if instr.phys_dest is not None:
                 self._regfile.mark_written(instr.phys_dest, self.cycle)
@@ -266,7 +274,7 @@ class SMTCore:
 
     def _issue(self) -> None:
         budget = self.config.issue_width
-        for instr in list(self._iq.entries()):
+        for instr in self._iq.entries():
             if budget == 0:
                 break
             if instr.squashed or instr.pending_srcs > 0:
@@ -317,9 +325,10 @@ class SMTCore:
     def _schedule(self, instr: DynInstr, latency: int,
                   dl1_miss: bool, l2_miss: bool) -> None:
         when = self.cycle + max(latency, 1)
-        self._events.setdefault(when, []).append(
-            (instr, instr.fetch_stamp, dl1_miss, l2_miss)
-        )
+        bucket = self._events.get(when)
+        if bucket is None:
+            bucket = self._events[when] = []
+        bucket.append((instr, instr.fetch_stamp, dl1_miss, l2_miss))
 
     # -- rename / dispatch ----------------------------------------------------------------------------
 
@@ -459,8 +468,7 @@ class SMTCore:
     # -- helpers -----------------------------------------------------------------------------------------------
 
     def _rotated(self, counter: int) -> List[int]:
-        start = counter % self.num_threads
-        return [(start + i) % self.num_threads for i in range(self.num_threads)]
+        return self._rotations[counter % self.num_threads]
 
     def _drain(self) -> None:
         """Close all open residency intervals at the final cycle."""

@@ -5,9 +5,9 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, Optional, Tuple
 
-from repro.avf.engine import AvfEngine
 from repro.branch.unit import BranchUnit
 from repro.config import MachineConfig
+from repro.instrument import ResidencyProbe
 from repro.isa.instruction import DynInstr
 from repro.structures.lsq import LoadStoreQueue
 from repro.structures.rob import ReorderBuffer
@@ -23,13 +23,13 @@ class ThreadContext:
     """Everything one SMT context owns privately."""
 
     def __init__(self, thread_id: int, trace: ThreadTrace, config: MachineConfig,
-                 engine: AvfEngine, seed: int) -> None:
+                 probe: ResidencyProbe, seed: int) -> None:
         self.id = thread_id
         self.trace = trace
         self.config = config
         self.branch_unit = BranchUnit(config.branch)
-        self.rob = ReorderBuffer(thread_id, config.rob_entries, engine)
-        self.lsq = LoadStoreQueue(thread_id, config.lsq_entries, engine)
+        self.rob = ReorderBuffer(thread_id, config.rob_entries, probe)
+        self.lsq = LoadStoreQueue(thread_id, config.lsq_entries, probe)
         self.synth = WrongPathSynthesizer(trace.profile, thread_id, seed)
 
         # (rename-ready cycle, instr) pairs in fetch order.

@@ -16,10 +16,10 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.config import DEFAULT_CONFIG, MachineConfig, SimConfig
-from repro.pipeline.core import SMTCore
 from repro.rmt.slack import SlackFetchPolicy
 from repro.sim.results import SimResult
-from repro.sim.simulator import _functional_warmup, _package, simulate_single_thread
+from repro.sim.session import SimSession
+from repro.sim.simulator import simulate_single_thread
 from repro.workload.generator import generate_trace
 from repro.workload.spec2000 import get_profile
 
@@ -84,12 +84,9 @@ def run_redundant(program: str,
               for tid in (0, 1)]
     policy = SlackFetchPolicy(leader=0, trailer=1,
                               min_slack=min_slack, max_slack=max_slack)
-    core = SMTCore(traces, config, policy, sim)
-    if sim.functional_warmup:
-        _functional_warmup(core, traces)
-    cycles = core.run()
-    redundant = _package(core, [program, program], [program, program],
-                         policy, cycles)
+    session = SimSession([program, program], policy=policy, config=config,
+                         sim=sim, traces=traces)
+    redundant = session.run()
     solo = simulate_single_thread(program, instructions, config=config,
                                   seed=seed)
     return RedundantRunResult(

@@ -1,46 +1,39 @@
-"""Top-level entry points: build traces, run the core, package results."""
+"""Top-level entry points: thin wrappers over :class:`repro.sim.session.SimSession`.
+
+Historically this module built traces, wired observers, constructed the
+core and packaged results itself; all of that now lives in one place in
+:mod:`repro.sim.session`.  The names re-exported here (``build_traces``,
+``_functional_warmup``, ``_package``) are kept for compatibility with
+existing callers and tests.
+"""
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Union
+from typing import List, Optional, Union
 
-from repro.config import DEFAULT_CONFIG, MachineConfig, SimConfig
-from repro.errors import SimulationError, WorkloadError
+from repro.config import MachineConfig, SimConfig
 from repro.fetch.base import FetchPolicy
-from repro.fetch.registry import create_policy
-from repro.isa.opcodes import OpClass
-from repro.workload.address_stream import is_non_temporal
-from repro.pipeline.core import SMTCore
-from repro.sim.results import SimResult, ThreadResult
-from repro.workload.generator import ThreadTrace, generate_trace
-from repro.workload.mixes import WorkloadMix
-from repro.workload.spec2000 import get_profile
+from repro.sim.results import SimResult
+from repro.sim.session import (
+    SimSession,
+    WorkloadSpec,
+    _program_names,
+    build_traces,
+    functional_warmup,
+    package_result,
+)
+from repro.workload.generator import ThreadTrace
 
-WorkloadSpec = Union[WorkloadMix, Sequence[str]]
+# Compatibility aliases for the pre-SimSession private helpers.
+_functional_warmup = functional_warmup
+_package = package_result
 
-
-def _program_names(workload: WorkloadSpec) -> List[str]:
-    if isinstance(workload, WorkloadMix):
-        return list(workload.programs)
-    names = list(workload)
-    if not names:
-        raise WorkloadError("workload must contain at least one program")
-    return names
-
-
-def build_traces(workload: WorkloadSpec, sim: SimConfig) -> List[ThreadTrace]:
-    """Materialise one correct-path trace per context.
-
-    Each thread's trace is as long as the whole run's instruction budget —
-    a safe upper bound, since no single thread can commit more than the
-    total budget.
-    """
-    names = _program_names(workload)
-    length = sim.max_instructions + sim.warmup_instructions
-    return [
-        generate_trace(get_profile(name), tid, length, seed=sim.seed)
-        for tid, name in enumerate(names)
-    ]
+__all__ = [
+    "WorkloadSpec",
+    "build_traces",
+    "simulate",
+    "simulate_single_thread",
+]
 
 
 def simulate(workload: WorkloadSpec,
@@ -69,61 +62,8 @@ def simulate(workload: WorkloadSpec,
         Path for a JSONL observability trace (occupancy samples, stage
         counters, audit events); None disables tracing.
     """
-    config = config or DEFAULT_CONFIG
-    sim = sim or SimConfig()
-    names = _program_names(workload)
-    if traces is None:
-        traces = build_traces(workload, sim)
-    if len(traces) != len(names):
-        raise WorkloadError("trace count does not match workload size")
-    policy_obj = create_policy(policy) if isinstance(policy, str) else policy
-
-    core = SMTCore(traces, config, policy_obj, sim, trace_out=trace_out)
-    if sim.functional_warmup:
-        _functional_warmup(core, traces)
-    cycles = core.run()
-    return _package(core, workload, names, policy_obj, cycles)
-
-
-def _functional_warmup(core: SMTCore, traces: List[ThreadTrace]) -> None:
-    """Warm caches, TLBs and branch predictors with the traces' own footprint.
-
-    Content-only: all accesses happen at cycle 0, so no residency interval
-    has positive length and the AVF ledgers stay untouched; lines that remain
-    resident simply enter measurement already warm — the role SimPoint
-    fast-forwarding plays in the paper.
-
-    Only the region each thread will actually execute is walked (the shared
-    budget split per thread, with slack): traces are budget-length as an
-    upper bound, and warming their far future would evict the near future
-    that the measured window really touches.
-    """
-    per_thread_budget = core.sim.max_instructions * 3 // (2 * len(traces)) + 64
-    for trace in traces:
-        tid = trace.thread_id
-        unit = core.threads[tid].branch_unit
-        last_line = -1
-        # Caches/TLBs: walk only the region this thread will execute —
-        # warming its far future would evict the near future it touches.
-        for instr in trace.instrs[:per_thread_budget]:
-            line = core.mem.il1.line_address(instr.pc)
-            if line != last_line:
-                core.mem.fetch_access(instr.pc, 0, tid)
-                last_line = line
-            if instr.is_memory and not is_non_temporal(instr.mem_addr):
-                core.mem.data_access(instr.mem_addr, 0, tid, instr.is_store)
-        # Predictors: train over the whole trace.  A long-running program's
-        # branch tables are at steady state; the tables are tiny (2-bit
-        # counters), so this reaches saturation, not memorisation.
-        for instr in trace.instrs:
-            if instr.op is OpClass.BRANCH:
-                taken, checkpoint = unit.gshare.predict(instr.pc)
-                unit.gshare.resolve(instr.pc, instr.taken, taken, checkpoint)
-            if instr.is_control and instr.taken:
-                unit.btb.update(instr.pc, instr.target)
-        # Reset counters so measured statistics exclude the warmup pass.
-        unit.gshare.lookups = unit.gshare.correct = 0
-    core.mem.reset_statistics()
+    return SimSession(workload, policy=policy, config=config, sim=sim,
+                      traces=traces, trace_out=trace_out).run()
 
 
 def simulate_single_thread(program: str, instructions: int,
@@ -138,49 +78,3 @@ def simulate_single_thread(program: str, instructions: int,
     """
     sim = SimConfig(max_instructions=instructions, seed=seed)
     return simulate([program], policy=policy, config=config, sim=sim)
-
-
-def _package(core: SMTCore, workload: WorkloadSpec, names: List[str],
-             policy: FetchPolicy, cycles: int) -> SimResult:
-    if cycles <= 0:
-        raise SimulationError(
-            f"simulation finished after {cycles} cycles; a degenerate run "
-            "has no IPC (did the instruction budget round down to zero?)")
-    threads = []
-    for t in core.threads:
-        committed = core.committed_in_window(t.id)
-        threads.append(ThreadResult(
-            thread_id=t.id,
-            program=names[t.id],
-            committed=committed,
-            ipc=committed / cycles,
-            fetched=t.fetched,
-            wrong_path_fetched=t.wrong_path_fetched,
-            branch_mispredict_rate=t.branch_unit.misprediction_rate,
-        ))
-    committed_total = sum(t.committed for t in threads)
-    workload_name = (workload.name if isinstance(workload, WorkloadMix)
-                     else "+".join(names))
-    avf_report = core.engine.report(cycles)
-    audit = None
-    if core.auditor is not None:
-        core.auditor.audit_final_report(avf_report)
-        audit = core.auditor.summary_payload()
-    return SimResult(
-        workload=workload_name,
-        policy=policy.name,
-        num_threads=core.num_threads,
-        cycles=cycles,
-        committed=committed_total,
-        ipc=committed_total / cycles,
-        threads=threads,
-        avf=avf_report,
-        dl1_miss_rate=core.mem.dl1.miss_rate,
-        l2_miss_rate=core.mem.l2.miss_rate,
-        il1_miss_rate=core.mem.il1.miss_rate,
-        dtlb_miss_rate=core.mem.dtlb.miss_rate,
-        mispredict_squashes=core.mispredict_squashes,
-        phase_series=(core.phase_tracker.series
-                      if core.phase_tracker is not None else None),
-        audit=audit,
-    )

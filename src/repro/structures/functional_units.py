@@ -12,8 +12,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Tuple
 
-from repro.avf.engine import AvfEngine
 from repro.config import MachineConfig
+from repro.instrument import ResidencyProbe
 from repro.isa.instruction import DynInstr
 from repro.isa.opcodes import FUType, OpClass, execution_latency, fu_type_for
 
@@ -21,9 +21,9 @@ from repro.isa.opcodes import FUType, OpClass, execution_latency, fu_type_for
 class FunctionalUnitPool:
     """Occupancy-tracked pool of all execution resources."""
 
-    def __init__(self, config: MachineConfig, engine: AvfEngine) -> None:
+    def __init__(self, config: MachineConfig, probe: ResidencyProbe) -> None:
         self._config = config
-        self._engine = engine
+        self._probe = probe
         self._counts: Dict[FUType, int] = {
             FUType.INT_ALU: config.int_alus,
             FUType.INT_MULDIV: config.int_mult_div,
@@ -65,7 +65,7 @@ class FunctionalUnitPool:
             if not reservations:
                 continue
             for release, instr in reservations:
-                self._engine.fu_busy_cycle(instr.thread_id, instr.is_ace, cycle)
+                self._probe.fu_busy_cycle(instr.thread_id, instr.is_ace, cycle)
                 self.busy_unit_cycles += 1
             self._busy[fu] = [r for r in reservations if r[0] > cycle + 1]
 

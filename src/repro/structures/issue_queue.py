@@ -11,22 +11,21 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Iterable, List
 
-from repro.avf.engine import AvfEngine
-from repro.avf.structures import Structure
 from repro.errors import StructureError
+from repro.instrument import ResidencyProbe, Structure
 from repro.isa.instruction import DynInstr
 
 
 class SharedIssueQueue:
     """Capacity-bounded shared instruction window."""
 
-    def __init__(self, capacity: int, engine: AvfEngine) -> None:
+    def __init__(self, capacity: int, probe: ResidencyProbe) -> None:
         if capacity <= 0:
             raise StructureError("IQ capacity must be positive")
         self.capacity = capacity
         self._entries: List[DynInstr] = []
         self._per_thread: Dict[int, int] = {}
-        self._engine = engine
+        self._probe = probe
         self.peak_occupancy = 0
 
     def __len__(self) -> int:
@@ -82,8 +81,8 @@ class SharedIssueQueue:
     def _remove(self, instr: DynInstr, cycle: int) -> None:
         self._entries.remove(instr)
         self._per_thread[instr.thread_id] -= 1
-        self._engine.occupy(Structure.IQ, instr.thread_id,
-                            instr.renamed_at, cycle, instr.is_ace)
+        self._probe.occupy(Structure.IQ, instr.thread_id,
+                           instr.renamed_at, cycle, instr.is_ace)
 
     def entries(self) -> Iterable[DynInstr]:
         return tuple(self._entries)

@@ -16,9 +16,8 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, List, Optional
 
-from repro.avf.engine import AvfEngine
-from repro.avf.structures import Structure
 from repro.errors import StructureError
+from repro.instrument import ResidencyProbe, Structure
 from repro.isa.instruction import DynInstr
 
 _WORD_MASK = ~0x7  # forwarding granularity: aligned 8-byte words
@@ -27,13 +26,14 @@ _WORD_MASK = ~0x7  # forwarding granularity: aligned 8-byte words
 class LoadStoreQueue:
     """One thread's in-order window of in-flight memory operations."""
 
-    def __init__(self, thread_id: int, capacity: int, engine: AvfEngine) -> None:
+    def __init__(self, thread_id: int, capacity: int,
+                 probe: ResidencyProbe) -> None:
         if capacity <= 0:
             raise StructureError("LSQ capacity must be positive")
         self.thread_id = thread_id
         self.capacity = capacity
         self._entries: Deque[DynInstr] = deque()
-        self._engine = engine
+        self._probe = probe
         self.forwards = 0
         self.peak_occupancy = 0
 
@@ -83,12 +83,12 @@ class LoadStoreQueue:
 
     def _accrue(self, instr: DynInstr, cycle: int) -> None:
         ace = instr.is_ace
-        self._engine.occupy(Structure.LSQ_TAG, self.thread_id,
-                            instr.renamed_at, cycle, ace)
+        self._probe.occupy(Structure.LSQ_TAG, self.thread_id,
+                           instr.renamed_at, cycle, ace)
         # The data half holds a valid value only once it has been produced.
         data_start = instr.completed_at if instr.completed_at >= 0 else cycle
-        self._engine.occupy(Structure.LSQ_DATA, self.thread_id,
-                            data_start, cycle, ace)
+        self._probe.occupy(Structure.LSQ_DATA, self.thread_id,
+                           data_start, cycle, ace)
         if instr.completed_at >= 0:
-            self._engine.occupy(Structure.LSQ_DATA, self.thread_id,
-                                instr.renamed_at, instr.completed_at, False)
+            self._probe.occupy(Structure.LSQ_DATA, self.thread_id,
+                               instr.renamed_at, instr.completed_at, False)

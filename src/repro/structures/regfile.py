@@ -15,8 +15,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
-from repro.avf.engine import AvfEngine
 from repro.errors import StructureError
+from repro.instrument import ResidencyProbe
 from repro.isa.instruction import DynInstr
 from repro.workload.generator import FP_REG_BASE
 
@@ -42,14 +42,14 @@ class PhysicalRegisterFile:
     """
 
     def __init__(self, int_regs: int, fp_regs: int, num_threads: int,
-                 engine: AvfEngine) -> None:
+                 probe: ResidencyProbe) -> None:
         if int_regs <= 0 or fp_regs <= 0:
             raise StructureError("register pool sizes must be positive")
         self._int_free: List[int] = list(range(int_regs - 1, -1, -1))
         self._fp_free: List[int] = list(range(int_regs + fp_regs - 1, int_regs - 1, -1))
         self._meta: Dict[int, _PhysReg] = {}
         self._rename: List[Dict[int, int]] = [dict() for _ in range(num_threads)]
-        self._engine = engine
+        self._probe = probe
         self.int_regs = int_regs
         self.fp_regs = fp_regs
 
@@ -119,9 +119,9 @@ class PhysicalRegisterFile:
         if meta is None:
             raise StructureError(f"double free of phys reg {phys}")
         ace = meta.last_ace_read > meta.written_cycle >= 0
-        self._engine.reg_lifetime(meta.thread_id, meta.alloc_cycle,
-                                  meta.written_cycle, meta.last_ace_read,
-                                  cycle, ace)
+        self._probe.reg_lifetime(meta.thread_id, meta.alloc_cycle,
+                                 meta.written_cycle, meta.last_ace_read,
+                                 cycle, ace)
         (self._fp_free if phys >= self.int_regs else self._int_free).append(phys)
 
     def on_commit(self, instr: DynInstr, cycle: int) -> None:

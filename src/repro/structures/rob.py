@@ -10,22 +10,22 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, List, Optional
 
-from repro.avf.engine import AvfEngine
-from repro.avf.structures import Structure
 from repro.errors import StructureError
+from repro.instrument import ResidencyProbe, Structure
 from repro.isa.instruction import DynInstr
 
 
 class ReorderBuffer:
     """In-order window of one thread's in-flight instructions."""
 
-    def __init__(self, thread_id: int, capacity: int, engine: AvfEngine) -> None:
+    def __init__(self, thread_id: int, capacity: int,
+                 probe: ResidencyProbe) -> None:
         if capacity <= 0:
             raise StructureError("ROB capacity must be positive")
         self.thread_id = thread_id
         self.capacity = capacity
         self._entries: Deque[DynInstr] = deque()
-        self._engine = engine
+        self._probe = probe
         self.peak_occupancy = 0
 
     def __len__(self) -> int:
@@ -78,5 +78,5 @@ class ReorderBuffer:
             self._accrue(self._entries.popleft(), cycle)
 
     def _accrue(self, instr: DynInstr, cycle: int) -> None:
-        self._engine.occupy(Structure.ROB, self.thread_id,
-                            instr.renamed_at, cycle, instr.is_ace)
+        self._probe.occupy(Structure.ROB, self.thread_id,
+                           instr.renamed_at, cycle, instr.is_ace)

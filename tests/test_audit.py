@@ -12,6 +12,7 @@ from repro.errors import ConfigError, InvariantViolation
 from repro.experiments.runner import AUDIT_ENV_VAR, ExperimentScale
 from repro.fetch.registry import create_policy
 from repro.pipeline.core import SMTCore
+from repro.sim.session import build_core
 from repro.sim.simulator import build_traces, simulate
 
 WORKLOAD = ["bzip2", "gcc"]
@@ -19,7 +20,7 @@ WORKLOAD = ["bzip2", "gcc"]
 
 def _core(sim: SimConfig, workload=WORKLOAD) -> SMTCore:
     traces = build_traces(workload, sim)
-    return SMTCore(traces, DEFAULT_CONFIG, create_policy("ICOUNT"), sim)
+    return build_core(traces, DEFAULT_CONFIG, create_policy("ICOUNT"), sim)
 
 
 class TestCleanRuns:
@@ -149,8 +150,8 @@ class TestTracing:
         path = tmp_path / "trace.jsonl"
         sim = SimConfig(max_instructions=2000, seed=5, check_invariants=10)
         traces = build_traces(WORKLOAD, sim)
-        core = SMTCore(traces, DEFAULT_CONFIG, create_policy("ICOUNT"), sim,
-                       trace_out=str(path))
+        core = build_core(traces, DEFAULT_CONFIG, create_policy("ICOUNT"), sim,
+                          trace_out=str(path))
         core.engine.account(Structure.IQ).add(0, 1e9, ace=True)
         with pytest.raises(InvariantViolation):
             core.run()

@@ -46,6 +46,25 @@ class TestRecording:
         acct.add_interval(0, 0, 10, ace=True, fraction=0.5)
         assert acct.total_ace() == 5.0
 
+    def test_interval_fraction_out_of_range_raises(self):
+        # Regression: a fraction outside [0, 1] used to be accrued silently,
+        # corrupting the ledger (negative residency or more entry-cycles
+        # than the interval spans).  Both directions must be rejected and
+        # leave the ledger untouched.
+        acct = VulnerabilityAccount("x", capacity=10)
+        with pytest.raises(StructureError, match="outside \\[0, 1\\]"):
+            acct.add_interval(0, 0, 10, ace=True, fraction=1.5)
+        with pytest.raises(StructureError, match="outside \\[0, 1\\]"):
+            acct.add_interval(0, 0, 10, ace=True, fraction=-0.25)
+        assert acct.total_ace() == 0.0
+        assert acct.total_unace() == 0.0
+
+    def test_interval_fraction_boundaries_accepted(self):
+        acct = VulnerabilityAccount("x", capacity=10)
+        acct.add_interval(0, 0, 10, ace=True, fraction=0.0)
+        acct.add_interval(0, 0, 10, ace=True, fraction=1.0)
+        assert acct.total_ace() == 10.0
+
     def test_window_clipping(self):
         acct = VulnerabilityAccount("x", capacity=10)
         acct.reset(100)
@@ -101,3 +120,17 @@ class TestReduction:
         acct.add(2, 5.0, ace=True)
         acct.add(0, 5.0, ace=False)
         assert list(acct.threads()) == [0, 2]
+
+    def test_threads_cache_tracks_new_threads_and_reset(self):
+        # threads() memoises its sort; the cache must refresh when a ledger
+        # gains a new thread key and empty out on reset.
+        acct = VulnerabilityAccount("x", capacity=10)
+        assert list(acct.threads()) == []
+        acct.add(1, 5.0, ace=True)
+        assert list(acct.threads()) == [1]
+        acct.add(1, 5.0, ace=False)      # known thread: cache may persist
+        assert list(acct.threads()) == [1]
+        acct.add(0, 5.0, ace=False)      # new thread: cache must invalidate
+        assert list(acct.threads()) == [0, 1]
+        acct.reset(10)
+        assert list(acct.threads()) == []

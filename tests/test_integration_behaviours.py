@@ -7,7 +7,7 @@ from repro.avf.structures import Structure
 from repro.config import MachineConfig, SimConfig
 from repro.fetch.flush import FlushPolicy
 from repro.fetch.registry import create_policy
-from repro.pipeline.core import SMTCore
+from repro.sim.session import build_core
 from repro.sim.simulator import build_traces, simulate
 from repro.workload.mixes import get_mix
 
@@ -51,7 +51,7 @@ class TestFlushGating:
         sim = SimConfig(max_instructions=1200)
         policy = FlushPolicy()
         traces = build_traces(mix, sim)
-        core = SMTCore(traces, MachineConfig(), policy, sim)
+        core = build_core(traces, MachineConfig(), policy, sim)
         from repro.sim.simulator import _functional_warmup
 
         _functional_warmup(core, traces)

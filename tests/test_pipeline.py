@@ -5,7 +5,7 @@ import pytest
 from repro.avf.structures import Structure
 from repro.config import MachineConfig, SimConfig
 from repro.fetch.registry import create_policy
-from repro.pipeline.core import SMTCore
+from repro.sim.session import build_core
 from repro.sim.simulator import build_traces, simulate
 from repro.workload.mixes import get_mix
 
@@ -14,7 +14,7 @@ def _run_core(workload="2-CPU-A", policy="ICOUNT", instructions=600):
     mix = get_mix(workload)
     sim = SimConfig(max_instructions=instructions)
     traces = build_traces(mix, sim)
-    core = SMTCore(traces, MachineConfig(), create_policy(policy), sim)
+    core = build_core(traces, MachineConfig(), create_policy(policy), sim)
     core.run()
     return core
 
@@ -37,7 +37,7 @@ class TestExecutionInvariants:
         mix = get_mix("2-CPU-A")
         sim = SimConfig(max_instructions=600)
         traces = build_traces(mix, sim)
-        core = SMTCore(traces, MachineConfig(), create_policy("ICOUNT"), sim)
+        core = build_core(traces, MachineConfig(), create_policy("ICOUNT"), sim)
         committed = {0: [], 1: []}
         original = core.threads[0].rob.pop_head
 

@@ -5,8 +5,8 @@ import pytest
 from repro.config import MachineConfig, SimConfig
 from repro.fetch.registry import create_policy
 from repro.isa.opcodes import OpClass
-from repro.pipeline.core import SMTCore
 from repro.pipeline.frontend import DECODE_BUFFER_ENTRIES, ThreadContext
+from repro.sim.session import build_core
 from repro.sim.simulator import build_traces, simulate
 from repro.workload.mixes import get_mix
 
@@ -16,7 +16,7 @@ def _fresh_core(workload="2-CPU-A", instructions=500, policy="ICOUNT",
     mix = get_mix(workload)
     sim = SimConfig(max_instructions=instructions)
     traces = build_traces(mix, sim)
-    return SMTCore(traces, config or MachineConfig(), create_policy(policy), sim)
+    return build_core(traces, config or MachineConfig(), create_policy(policy), sim)
 
 
 def _step(core, cycles=1):
@@ -191,3 +191,50 @@ class TestConfigVariants:
         result = simulate(get_mix("2-CPU-A"), config=config,
                           sim=SimConfig(max_instructions=300))
         assert result.committed >= 300
+
+
+class TestWritebackStaleness:
+    """A load that is squashed and refetched leaves its original writeback
+    event in the queue, recorded under the old fetch stamp.  Regression:
+    the stale event used to notify ``policy.on_load_resolved`` before the
+    staleness check, so gating policies (DG and friends) saw phantom data
+    arrivals for loads that never produced data.  The miss counter release
+    must stay unconditional — it was claimed by that issue instance."""
+
+    def _core_with_spy(self):
+        from repro.isa.instruction import DynInstr
+
+        sim = SimConfig(max_instructions=100)
+        traces = build_traces(get_mix("2-CPU-A"), sim)
+        policy = create_policy("DG")
+        calls = []
+        orig = policy.on_load_resolved
+        policy.on_load_resolved = (
+            lambda core, load: (calls.append(load), orig(core, load)))
+        core = build_core(traces, MachineConfig(), policy, sim)
+        load = DynInstr(0, 0, 0x100, OpClass.LOAD, mem_addr=64)
+        return core, load, calls
+
+    def test_stale_event_releases_miss_counter_without_policy_callback(self):
+        core, load, calls = self._core_with_spy()
+        t = core.threads[0]
+        load.fetch_stamp = 9          # the refetched instance's stamp
+        t.outstanding_l1d = 1         # claimed by the squashed issue instance
+        core._events[1] = [(load, 3, True, False)]   # stale: stamp 3 != 9
+        core.cycle = 1
+        core._writeback()
+        assert t.outstanding_l1d == 0          # release is unconditional
+        assert calls == []                     # no phantom resolution
+        assert load.completed_at == -1         # stale event completes nothing
+
+    def test_current_event_still_notifies_policy(self):
+        core, load, calls = self._core_with_spy()
+        t = core.threads[0]
+        load.fetch_stamp = 9
+        t.outstanding_l1d = 1
+        core._events[1] = [(load, 9, True, False)]   # stamps match
+        core.cycle = 1
+        core._writeback()
+        assert t.outstanding_l1d == 0
+        assert calls == [load]
+        assert load.completed_at == 1

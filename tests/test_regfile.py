@@ -18,7 +18,7 @@ def engine():
 
 @pytest.fixture
 def regfile(engine):
-    return PhysicalRegisterFile(8, 8, num_threads=2, engine=engine)
+    return PhysicalRegisterFile(8, 8, num_threads=2, probe=engine)
 
 
 def _instr(thread=0, seq=0, dest=3, srcs=(1, 2)):

@@ -3,8 +3,8 @@
 import pytest
 
 from repro.config import MachineConfig, SimConfig
-from repro.pipeline.core import SMTCore
 from repro.rmt.slack import SlackFetchPolicy
+from repro.sim.session import build_core
 from repro.sim.simulator import _functional_warmup
 from repro.workload.generator import generate_trace
 from repro.workload.spec2000 import get_profile
@@ -18,7 +18,7 @@ def slack_samples():
               for tid in (0, 1)]
     policy = SlackFetchPolicy(leader=0, trailer=1, min_slack=32, max_slack=256)
     sim = SimConfig(max_instructions=2 * instructions)
-    core = SMTCore(traces, MachineConfig(), policy, sim)
+    core = build_core(traces, MachineConfig(), policy, sim)
     _functional_warmup(core, traces)
     samples = []
     while not core._done():

@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Fail when a kernel benchmark run regresses against the committed baseline.
+
+Compares two pytest-benchmark JSON files benchmark-by-benchmark on their
+*minimum* observed time (minimums are far more robust than means on noisy
+shared runners) and exits non-zero when any benchmark is more than
+``--threshold`` slower than the baseline.
+
+Because the baseline was recorded on a different machine than CI runs on,
+``--control`` may name a benchmark whose code never changes run-to-run
+(here: trace generation, which exercises no simulator code).  Every ratio
+is then divided by the control's ratio, cancelling out the raw speed
+difference between the two machines so the check measures the kernel, not
+the hardware.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load_mins(path: str) -> dict:
+    with open(path) as fh:
+        data = json.load(fh)
+    return {b["name"]: b["stats"]["min"] for b in data["benchmarks"]}
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="committed baseline JSON")
+    parser.add_argument("candidate", nargs="+",
+                        help="fresh benchmark JSON(s); with several files "
+                             "the per-benchmark best is compared, which "
+                             "rejects one-off scheduler spikes")
+    parser.add_argument("--threshold", type=float, default=0.15,
+                        help="allowed fractional slowdown (default 0.15)")
+    parser.add_argument("--control", default=None,
+                        help="benchmark name used to normalise out "
+                             "machine-speed differences")
+    args = parser.parse_args()
+
+    base = load_mins(args.baseline)
+    cand: dict = {}
+    for path in args.candidate:
+        for name, value in load_mins(path).items():
+            cand[name] = min(cand.get(name, float("inf")), value)
+
+    scale = 1.0
+    if args.control:
+        if args.control not in base or args.control not in cand:
+            print(f"control benchmark {args.control!r} missing from "
+                  "baseline or candidate", file=sys.stderr)
+            return 2
+        scale = cand[args.control] / base[args.control]
+        print(f"machine-speed control {args.control}: x{scale:.3f}")
+
+    failures = []
+    missing = sorted(set(base) - set(cand))
+    if missing:
+        failures.append(f"benchmarks missing from candidate: {missing}")
+
+    for name in sorted(set(base) & set(cand)):
+        ratio = (cand[name] / base[name]) / scale
+        status = "ok"
+        if ratio > 1.0 + args.threshold:
+            status = "REGRESSION"
+            failures.append(f"{name}: {ratio:.3f}x baseline "
+                            f"(> {1.0 + args.threshold:.2f}x allowed)")
+        print(f"{name}: base {base[name] * 1000:.1f}ms  "
+              f"cand {cand[name] * 1000:.1f}ms  "
+              f"normalised {ratio:.3f}x  {status}")
+
+    if failures:
+        print("\nFAIL:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("\nOK: no benchmark regressed beyond "
+          f"{args.threshold:.0%} of the committed baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
