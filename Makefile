@@ -3,7 +3,7 @@
 PYTHON ?= python
 
 .PHONY: install test test-chaos bench bench-kernel bench-kernel-check \
-	reproduce reproduce-smoke examples clean
+	reproduce reproduce-smoke inject-smoke examples clean
 
 SMOKE_DIR ?= .smoke
 
@@ -69,6 +69,15 @@ reproduce-smoke:
 	grep -q "simulated 0 runs" $(SMOKE_DIR)/second.log
 	cmp $(SMOKE_DIR)/run1/fig1_avf_profile.txt $(SMOKE_DIR)/run2/fig1_avf_profile.txt
 	rm -rf $(SMOKE_DIR)
+
+# Live fault-injection smoke test: a tiny campaign plus one forced hang,
+# one forced crash and one forced parity detection.  Exit 0 proves the
+# watchdog catches a wedged pipeline and the containment turns a corrupted
+# simulator into a classified DUE instead of a campaign abort.
+inject-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.cli inject gcc mcf --live \
+		--strikes 6 --structures iq rob \
+		--force hang --force crash --force due --seed 11
 
 examples:
 	for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f || exit 1; done

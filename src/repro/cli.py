@@ -240,22 +240,26 @@ def _cmd_figure(args: argparse.Namespace) -> int:
 def _cmd_inject(args: argparse.Namespace) -> int:
     from repro.faultinject import run_campaign, run_campaign_supervised
 
+    if args.live:
+        return _cmd_inject_live(args)
     workload = _resolve_workload(args.workload)
     threads = (workload.num_threads if hasattr(workload, "num_threads")
                else len(workload))
-    sim = SimConfig(max_instructions=args.instructions * threads,
+    instructions = 2500 if args.instructions is None else args.instructions
+    strikes = 5000 if args.strikes is None else args.strikes
+    sim = SimConfig(max_instructions=instructions * threads,
                     seed=args.seed)
     cache_dir = None if args.no_cache else args.cache_dir
     tag = (args.workload[0] if len(args.workload) == 1
            else "+".join(args.workload))
     supervisor = _supervisor_from_args(args, f"inject-{tag}")
     if supervisor is None:
-        result = run_campaign(workload, injections=args.strikes, sim=sim,
+        result = run_campaign(workload, injections=strikes, sim=sim,
                               jobs=args.jobs, cache_dir=cache_dir)
         print(result.summary())
         return 0
     result = run_campaign_supervised(workload, supervisor,
-                                     injections=args.strikes, sim=sim,
+                                     injections=strikes, sim=sim,
                                      classify_jobs=args.jobs,
                                      cache_dir=cache_dir)
     if result is None:
@@ -263,6 +267,46 @@ def _cmd_inject(args: argparse.Namespace) -> int:
               f"(campaign failed permanently; see failures report)")
     else:
         print(result.summary())
+    return _finish_resilient(supervisor, args.failures_out)
+
+
+def _cmd_inject_live(args: argparse.Namespace) -> int:
+    from dataclasses import replace
+
+    from repro.faultinject import LiveConfig, run_live_campaign
+    from repro.faultinject.live import INJECTABLE
+    from repro.protection import ProtectionScheme
+
+    workload = _resolve_workload(args.workload)
+    threads = (workload.num_threads if hasattr(workload, "num_threads")
+               else len(workload))
+    instructions = 300 if args.instructions is None else args.instructions
+    strikes = 24 if args.strikes is None else args.strikes
+    sim = SimConfig(max_instructions=instructions * threads,
+                    seed=args.seed)
+    if args.structures:
+        by_name = {s.value.lower(): s for s in INJECTABLE}
+        try:
+            structures = tuple(by_name[name.lower()]
+                               for name in args.structures)
+        except KeyError as exc:
+            raise ReproError(f"unknown structure {exc.args[0]!r}; "
+                             f"known: {', '.join(sorted(by_name))}")
+    else:
+        structures = INJECTABLE
+    live = LiveConfig()
+    if args.strike_batch is not None:
+        live = replace(live, strike_batch=args.strike_batch)
+    tag = (args.workload[0] if len(args.workload) == 1
+           else "+".join(args.workload))
+    supervisor = _supervisor_from_args(args, f"inject-live-{tag}")
+    result = run_live_campaign(
+        workload, injections=strikes, structures=structures,
+        sim=sim, seed=args.seed,
+        protection=ProtectionScheme(args.protect), live=live,
+        forced=tuple(args.force), jobs=args.jobs, supervisor=supervisor,
+        cache_dir=None if args.no_cache else args.cache_dir)
+    print(result.summary())
     return _finish_resilient(supervisor, args.failures_out)
 
 
@@ -411,10 +455,35 @@ def build_parser() -> argparse.ArgumentParser:
 
     inject = sub.add_parser("inject", help="fault-injection campaign")
     inject.add_argument("workload", nargs="+")
-    inject.add_argument("--strikes", type=_non_negative_int, default=5000)
+    inject.add_argument("--strikes", type=_non_negative_int, default=None,
+                        help="injections (default: 5000 interval-replay, "
+                             "24/structure live)")
     inject.add_argument("-n", "--instructions", type=_positive_int,
-                        default=2500)
+                        default=None,
+                        help="instructions per thread (default: 2500, "
+                             "or 300 live)")
     inject.add_argument("--seed", type=int, default=1)
+    live_grp = inject.add_argument_group(
+        "live injection (bit flips in a running simulation)")
+    live_grp.add_argument("--live", action="store_true",
+                          help="flip real bits mid-run and classify each "
+                               "strike against a golden run "
+                               "(masked/SDC/DUE/hang)")
+    live_grp.add_argument("--structures", nargs="+", default=None,
+                          metavar="STRUCT",
+                          help="restrict live strikes to these structures "
+                               "(iq rob lsq_tag lsq_data reg fu)")
+    live_grp.add_argument("--protect", default="none",
+                          choices=["none", "parity", "ecc"],
+                          help="protection scheme covering the struck "
+                               "structure (default none)")
+    live_grp.add_argument("--force", action="append", default=[],
+                          choices=["hang", "crash", "due"], metavar="KIND",
+                          help="add a guaranteed-outcome probe strike "
+                               "(repeatable; exercises watchdog and "
+                               "containment)")
+    live_grp.add_argument("--strike-batch", type=_positive_int, default=None,
+                          help="strikes per supervised worker task")
     _add_cache_options(inject)
     _add_resilience_options(inject)
 

@@ -32,6 +32,23 @@ class SimulationError(ReproError):
     """The simulation reached an inconsistent state and cannot continue."""
 
 
+class HangDetected(SimulationError):
+    """A live-injection watchdog tripped: the faulty run stopped making
+    forward progress (or blew past its golden-run cycle budget).
+
+    Raised by :class:`repro.faultinject.classify.Watchdog` and caught by
+    the strike runner, which classifies the strike as HANG; it never
+    propagates out of a campaign.
+    """
+
+    def __init__(self, cycle: int, committed: int, reason: str) -> None:
+        self.cycle = cycle
+        self.committed = committed
+        self.reason = reason
+        super().__init__(
+            f"hang at cycle {cycle} ({committed} committed): {reason}")
+
+
 class MissingResultError(ReproError):
     """A renderer asked for a simulation whose job permanently failed.
 

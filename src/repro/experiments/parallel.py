@@ -61,7 +61,7 @@ KNOWN_ARTEFACTS = frozenset({
     "fig1_avf_profile", "fig2_efficiency", "fig3_smt_vs_st",
     "fig4_smt_vs_st_efficiency", "fig5_context_scaling",
     "fig6_fetch_policies", "fig7_policy_efficiency", "fig8_fairness",
-    "smt_vs_superscalar", "resource_scaling",
+    "smt_vs_superscalar", "resource_scaling", "injection_validation",
 })
 
 

@@ -41,6 +41,8 @@ from repro.experiments.parallel import RESOURCE_SWEEP, prewarm_artefacts
 from repro.experiments.runner import ExperimentScale, ResultCache
 from repro.experiments.sensitivity import format_sweep, run_resource_sweep
 from repro.experiments.smt_tradeoff import format_smt_tradeoff, run_smt_tradeoff
+from repro.experiments.validate_injection import (
+    format_injection_validation, run_injection_validation)
 
 
 def _resource_scaling(scale: ExperimentScale, cache: ResultCache) -> str:
@@ -63,6 +65,9 @@ ARTEFACTS: Dict[str, Callable[[ExperimentScale, ResultCache], str]] = {
     "smt_vs_superscalar":
         lambda s, c: format_smt_tradeoff(run_smt_tradeoff(s, c)),
     "resource_scaling": _resource_scaling,
+    "injection_validation":
+        lambda s, c: format_injection_validation(
+            run_injection_validation(s, c)),
 }
 
 

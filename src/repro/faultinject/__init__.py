@@ -20,15 +20,48 @@ path from the summed AVF ledgers — then samples injections uniformly over
 
 The campaign's SDC rate converging to the reported AVF validates the
 interval arithmetic end to end.
+
+:mod:`repro.faultinject.live` adds the second methodology for real: it
+flips an actual bit in a live structure mid-run and classifies the strike
+by differencing the faulty run against a memoized golden run —
+``MASKED``/``SDC`` by architectural digest, ``DUE`` by protection
+detection or contained simulator failure, ``HANG`` by watchdog, and
+``CORRECTED`` under ECC.  Its per-structure SDC rate carries a Wilson
+confidence interval; the ACE-computed AVF landing inside it is the
+paper's Section-2 cross-validation of the two methodologies.
 """
 
 from repro.faultinject.campaign import (
     CampaignJob,
+    ClassifyTask,
     InjectionCampaignResult,
     InjectionOutcome,
+    MASKED_OUTCOMES,
     run_campaign,
     run_campaign_supervised,
 )
+from repro.faultinject.classify import DigestRecorder, Watchdog
+from repro.faultinject.live import (
+    FORCED_KINDS,
+    GoldenRun,
+    LiveBatchJob,
+    LiveCampaignResult,
+    LiveConfig,
+    LiveStrikeRecord,
+    StrikeInjector,
+    StrikeSpec,
+    draw_strike,
+    golden_run,
+    machine_capacity,
+    run_live_campaign,
+    run_one_strike,
+)
 
-__all__ = ["CampaignJob", "InjectionOutcome", "InjectionCampaignResult",
-           "run_campaign", "run_campaign_supervised"]
+__all__ = ["CampaignJob", "ClassifyTask", "InjectionOutcome",
+           "InjectionCampaignResult", "MASKED_OUTCOMES",
+           "run_campaign", "run_campaign_supervised",
+           "DigestRecorder", "Watchdog",
+           "FORCED_KINDS", "GoldenRun", "LiveBatchJob", "LiveCampaignResult",
+           "LiveConfig", "LiveStrikeRecord", "StrikeInjector", "StrikeSpec",
+           "draw_strike", "golden_run", "machine_capacity",
+           "run_live_campaign", "run_one_strike"]

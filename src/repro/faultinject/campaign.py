@@ -5,7 +5,6 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import asdict, dataclass, field, replace
 from enum import Enum, auto
 from pathlib import Path
@@ -27,14 +26,29 @@ INJECTABLE = (Structure.IQ, Structure.ROB, Structure.LSQ_TAG,
 
 
 class InjectionOutcome(Enum):
-    MASKED_IDLE = auto()
-    MASKED_UNACE = auto()
-    SDC = auto()
+    # Timeline (post-hoc) classification:
+    MASKED_IDLE = auto()    # the struck slot held nothing
+    MASKED_UNACE = auto()   # it held state that cannot affect the outcome
+    SDC = auto()            # it held ACE state: silent data corruption
+    # Live (differential) classification adds:
+    MASKED = auto()         # the faulty run's architectural digest matched
+    DUE = auto()            # detected (parity) or contained simulator failure
+    HANG = auto()           # the watchdog tripped: forward progress stopped
+    CORRECTED = auto()      # ECC repaired the flip in place
 
+
+#: Outcomes with no architectural consequence (the error rate's complement).
+MASKED_OUTCOMES = frozenset({
+    InjectionOutcome.MASKED_IDLE,
+    InjectionOutcome.MASKED_UNACE,
+    InjectionOutcome.MASKED,
+    InjectionOutcome.CORRECTED,
+})
 
 #: Version of the on-disk campaign-result layout; entries recorded under a
-#: different schema are re-run rather than misread.
-CAMPAIGN_SCHEMA_VERSION = 1
+#: different schema are re-run rather than misread.  v2: live-injection
+#: outcome classes (MASKED/DUE/HANG/CORRECTED) joined the enum.
+CAMPAIGN_SCHEMA_VERSION = 2
 
 
 @dataclass
@@ -55,7 +69,29 @@ class StructureCampaign:
 
     @property
     def masked_rate(self) -> float:
-        return 1.0 - self.sdc_rate
+        """Fraction of strikes with no architectural consequence.
+
+        Counted from the masked outcome classes, not ``1 - sdc_rate``:
+        the old complement form both mislabelled live DUE/HANG strikes as
+        masked and reported a vacuous 1.0 for a zero-strike campaign (no
+        strikes happened, so none were masked).
+        """
+        if not self.injections:
+            return 0.0
+        masked = sum(self.outcomes.get(o, 0) for o in MASKED_OUTCOMES)
+        return masked / self.injections
+
+    @property
+    def due_rate(self) -> float:
+        if not self.injections:
+            return 0.0
+        return self.outcomes.get(InjectionOutcome.DUE, 0) / self.injections
+
+    @property
+    def hang_rate(self) -> float:
+        if not self.injections:
+            return 0.0
+        return self.outcomes.get(InjectionOutcome.HANG, 0) / self.injections
 
 
 @dataclass
@@ -112,6 +148,58 @@ def _occupancy_timelines(sources: Sequence[object], cycles: int) -> tuple:
                 ace_diff[lo] += 1
                 ace_diff[hi] -= 1
     return np.cumsum(ace_diff)[:cycles], np.cumsum(occ_diff)[:cycles]
+
+
+@dataclass(frozen=True)
+class ClassifyTask:
+    """One structure's strike classification as a supervised task.
+
+    Pure arithmetic over already-recorded residency intervals, packaged
+    for the :class:`repro.resilience.Supervisor` task protocol so the
+    campaign's per-structure fan-out rides the same supervised pool as
+    every other parallel path in the framework (timeouts, retries,
+    broken-pool rebuilds) instead of a bare thread pool.
+    """
+
+    structure: Structure
+    strike_cycles: Tuple[int, ...]
+    strike_slots: Tuple[int, ...]
+    intervals: Tuple[Tuple[int, int, int, bool], ...]
+    cycles: int
+
+    @property
+    def label(self) -> str:
+        return f"classify/{self.structure.value}"
+
+    def digest(self) -> str:
+        blob = json.dumps([self.structure.value, self.strike_cycles,
+                           self.strike_slots, self.intervals, self.cycles],
+                          separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+    def run(self) -> Dict[str, object]:
+        ace_at, occ_at = _occupancy_timelines([list(self.intervals)],
+                                              self.cycles)
+        cyc = np.asarray(self.strike_cycles, dtype=np.int64)
+        slots = np.asarray(self.strike_slots, dtype=np.int64)
+        # A strike below the ACE count corrupts; below the occupancy count
+        # it lands in an un-ACE entry; otherwise the slot was idle.  ACE
+        # intervals are a subset of occupancy, so the counts nest exactly
+        # as a per-strike if/elif chain would classify them.
+        sdc = int(np.count_nonzero(slots < ace_at[cyc]))
+        occupied = int(np.count_nonzero(slots < occ_at[cyc]))
+        return {"structure": self.structure.value,
+                "sdc": sdc, "occupied": occupied}
+
+    def validate(self, payload: Dict[str, object]) -> None:
+        if payload.get("structure") != self.structure.value:
+            raise ValueError(
+                f"payload for {payload.get('structure')!r}, "
+                f"expected {self.structure.value!r}")
+        sdc, occupied = int(payload["sdc"]), int(payload["occupied"])
+        if not 0 <= sdc <= occupied <= len(self.strike_cycles):
+            raise ValueError(f"inconsistent counts sdc={sdc} "
+                             f"occupied={occupied}")
 
 
 def _campaign_sim(base_sim: SimConfig) -> SimConfig:
@@ -283,7 +371,7 @@ def run_campaign(workload: Union[WorkloadMix, Sequence[str]],
     # Draw every structure's strikes first, in structure order, so the RNG
     # stream (and hence the outcome counts) is independent of how the
     # classification below is scheduled.
-    strikes: Dict[Structure, Tuple[np.ndarray, np.ndarray, List, int]] = {}
+    tasks: Dict[Structure, ClassifyTask] = {}
     for structure in structures:
         if structure in SHARED_STRUCTURES:
             capacity = engine.account(structure).capacity
@@ -292,19 +380,37 @@ def run_campaign(workload: Union[WorkloadMix, Sequence[str]],
                         * session.core.num_threads)
         strike_cycles = rng.integers(0, cycles, size=injections)
         strike_slots = rng.integers(0, capacity, size=injections)
-        sources = [recorder.intervals(structure)]
-        strikes[structure] = (strike_cycles, strike_slots, sources, capacity)
+        intervals = tuple(tuple(iv) for iv in recorder.intervals(structure))
+        tasks[structure] = ClassifyTask(
+            structure=structure,
+            strike_cycles=tuple(int(c) for c in strike_cycles),
+            strike_slots=tuple(int(s) for s in strike_slots),
+            intervals=intervals, cycles=cycles)
 
-    def classify(structure: Structure) -> StructureCampaign:
-        strike_cycles, strike_slots, sources, _capacity = strikes[structure]
-        ace_at, occ_at = _occupancy_timelines(sources, cycles)
-        # A strike below the ACE count corrupts; below the occupancy count it
-        # lands in an un-ACE entry; otherwise the slot was idle.  ACE
-        # intervals are a subset of occupancy, so the counts nest exactly as
-        # the per-strike if/elif chain would classify them.
-        sdc = int(np.count_nonzero(strike_slots < ace_at[strike_cycles]))
-        occupied = int(np.count_nonzero(strike_slots < occ_at[strike_cycles]))
-        campaign = StructureCampaign(structure=structure, injections=injections,
+    counts: Dict[Structure, Dict[str, object]] = {}
+    if jobs == 1 or len(tasks) <= 1:
+        for structure, task in tasks.items():
+            counts[structure] = task.run()
+    else:
+        # Classification is pure arithmetic on the drawn strikes, so the
+        # supervised pool cannot change outcomes — only survive workers.
+        from repro.resilience import RetryPolicy, Supervisor
+
+        by_digest = {task.digest(): structure
+                     for structure, task in tasks.items()}
+        supervisor = Supervisor(max_workers=min(jobs, len(tasks)),
+                                policy=RetryPolicy(retries=1, max_failures=0))
+        supervisor.run(
+            list(tasks.values()),
+            commit=lambda task, payload:
+                counts.__setitem__(by_digest[task.digest()], payload))
+    # Assemble in the caller's structure order, independent of completion
+    # order, so summaries and cache payloads are deterministic.
+    for structure in structures:
+        payload = counts[structure]
+        sdc, occupied = int(payload["sdc"]), int(payload["occupied"])
+        campaign = StructureCampaign(structure=structure,
+                                     injections=injections,
                                      reported_avf=report.avf[structure])
         for outcome, count in ((InjectionOutcome.SDC, sdc),
                                (InjectionOutcome.MASKED_UNACE, occupied - sdc),
@@ -312,14 +418,6 @@ def run_campaign(workload: Union[WorkloadMix, Sequence[str]],
                                 injections - occupied)):
             if count:
                 campaign.outcomes[outcome] = count
-        return campaign
-
-    if jobs == 1 or len(strikes) <= 1:
-        campaigns = [classify(s) for s in structures]
-    else:
-        with ThreadPoolExecutor(max_workers=min(jobs, len(strikes))) as pool:
-            campaigns = list(pool.map(classify, structures))
-    for structure, campaign in zip(structures, campaigns):
         result.structures[structure] = campaign
 
     if cache_path is not None:

@@ -1,0 +1,729 @@
+"""Live bit-flip fault injection with golden-run differential classification.
+
+The timeline campaign (:mod:`repro.faultinject.campaign`) classifies
+strikes *post hoc* from residency intervals; this module actually flips a
+bit in a live structure mid-run and watches what the machine does.  One
+golden (fault-free) run per campaign configuration is memoized; each
+strike then re-simulates the same traces with three extra observers on the
+probe bus:
+
+* a :class:`StrikeInjector` that calls the struck structure's
+  ``inject_bit`` hook at the sampled cycle,
+* a :class:`~repro.faultinject.classify.Watchdog` bounding the run by the
+  golden run's cycle count (hang containment),
+* a :class:`~repro.faultinject.classify.DigestRecorder` folding commits
+  into the architectural digest that is diffed against the golden one.
+
+Outcomes (:class:`~repro.faultinject.campaign.InjectionOutcome`):
+``MASKED_IDLE`` (struck slot empty), ``MASKED`` (digest identical),
+``SDC`` (digest diverged), ``DUE`` (parity detected the flip, or the
+corrupted simulator raised and was contained), ``HANG`` (watchdog),
+``CORRECTED`` (ECC).  A campaign never aborts on a strike outcome — hangs
+and crashes are the *measurement*, not failures.
+
+Determinism: every strike draws its (cycle, slot, bit) from its own seeded
+RNG substream — ``SeedSequence([campaign seed, structure, strike index])``
+— so results are byte-identical regardless of worker count or completion
+order.  Records are assembled sorted by (structure, index).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import OrderedDict
+from dataclasses import asdict, dataclass, field, replace
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.avf.bits import structure_capacity
+from repro.avf.structures import PRIVATE_STRUCTURES, Structure
+from repro.config import DEFAULT_CONFIG, MachineConfig, SimConfig
+from repro.errors import HangDetected, ReproError
+from repro.faultinject.campaign import (
+    CAMPAIGN_SCHEMA_VERSION,
+    INJECTABLE,
+    InjectionOutcome,
+    StructureCampaign,
+    _open_campaign_cache,
+)
+from repro.faultinject.classify import (
+    DigestRecorder,
+    Watchdog,
+    _StrikeDetected,
+    _StrikeIdle,
+)
+from repro.metrics.reliability import wilson_interval
+from repro.protection import ProtectionScheme, detected_outcome
+from repro.sim.session import SimSession, functional_warmup
+from repro.structures.strike import entry_bits as strike_entry_bits
+from repro.workload.mixes import TABLE2_MIXES, WorkloadMix
+
+#: Seed-substream index per structure (order is part of the RNG contract;
+#: never reorder).
+_STRUCT_SEED = {s: i for i, s in enumerate(INJECTABLE)}
+
+#: Forced-outcome kinds the campaign can exercise (CI smoke coverage).
+FORCED_KINDS = ("hang", "crash", "due")
+
+
+@dataclass(frozen=True)
+class LiveConfig:
+    """Watchdog and batching knobs for one live campaign."""
+
+    budget_factor: float = 2.0
+    """Faulty runs may take this multiple of the golden run's cycles."""
+
+    budget_slack: int = 200
+    """Absolute extra cycles on top of the scaled budget (short runs)."""
+
+    progress_window: int = 1500
+    """Cycles without a single commit before the watchdog trips (0 = off)."""
+
+    strike_batch: int = 8
+    """Strikes per supervised task (amortises the worker's golden run)."""
+
+
+@dataclass(frozen=True)
+class StrikeSpec:
+    """One sampled strike point."""
+
+    structure: Structure
+    index: int
+    cycle: int
+    slot: int
+    bit: int
+
+
+@dataclass
+class LiveStrikeRecord:
+    """One classified strike."""
+
+    structure: Structure
+    index: int
+    cycle: int
+    slot: int
+    bit: int
+    outcome: InjectionOutcome
+    target: str = ""
+    detail: str = ""
+
+    def to_payload(self) -> Dict[str, object]:
+        return {"structure": self.structure.value, "index": self.index,
+                "cycle": self.cycle, "slot": self.slot, "bit": self.bit,
+                "outcome": self.outcome.name, "target": self.target,
+                "detail": self.detail}
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, object]) -> "LiveStrikeRecord":
+        return cls(structure=Structure(payload["structure"]),
+                   index=int(payload["index"]), cycle=int(payload["cycle"]),
+                   slot=int(payload["slot"]), bit=int(payload["bit"]),
+                   outcome=InjectionOutcome[str(payload["outcome"])],
+                   target=str(payload.get("target", "")),
+                   detail=str(payload.get("detail", "")))
+
+
+@dataclass
+class GoldenRun:
+    """The memoized fault-free reference run."""
+
+    digest: str
+    cycles: int            # total simulated cycles (the watchdog's base)
+    measured_cycles: int
+    committed: int
+    names: List[str]
+    traces: List[object]
+    avf: Dict[Structure, float]
+
+
+# -- golden-run memo ---------------------------------------------------------------
+
+_GOLDEN_MEMO: "OrderedDict[str, GoldenRun]" = OrderedDict()
+_GOLDEN_MEMO_CAP = 4
+
+
+def _golden_key(programs: Sequence[str], policy: str, config: MachineConfig,
+                sim: SimConfig) -> str:
+    blob = json.dumps({"programs": list(programs), "policy": policy,
+                       "machine": asdict(config), "sim": asdict(sim)},
+                      sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def golden_run(workload: Union[WorkloadMix, Sequence[str]], policy: str,
+               config: MachineConfig, sim: SimConfig) -> GoldenRun:
+    """Run (or recall) the fault-free reference for one configuration.
+
+    The run executes with taint propagation *enabled* so its timing and
+    observer wiring are identical to the faulty runs'; a fault-free run
+    must end taint-clean, which is asserted — a dirty golden run means the
+    taint model leaked and every classification would be garbage.
+    """
+    programs = (workload.programs if isinstance(workload, WorkloadMix)
+                else list(workload))
+    key = _golden_key(programs, policy, config, sim)
+    hit = _GOLDEN_MEMO.get(key)
+    if hit is not None:
+        _GOLDEN_MEMO.move_to_end(key)
+        return hit
+
+    recorder = DigestRecorder()
+    session = SimSession(workload, policy=policy, config=config, sim=sim,
+                         observers=(recorder,), taint=True)
+    if sim.functional_warmup:
+        functional_warmup(session.core, session.traces)
+    measured = session.core.run()
+    if not recorder.clean:
+        raise ReproError("golden run is not taint-clean: the taint model "
+                         "injected state without a strike")
+    golden = GoldenRun(digest=recorder.digest(), cycles=session.core.cycle,
+                       measured_cycles=measured,
+                       committed=session.core.total_committed,
+                       names=list(session.names), traces=session.traces,
+                       avf=dict(session.engine.report(measured).avf))
+    _GOLDEN_MEMO[key] = golden
+    while len(_GOLDEN_MEMO) > _GOLDEN_MEMO_CAP:
+        _GOLDEN_MEMO.popitem(last=False)
+    return golden
+
+
+# -- strike sampling ---------------------------------------------------------------
+
+
+def machine_capacity(structure: Structure, config: MachineConfig,
+                     num_threads: int) -> int:
+    """Machine-wide slot count (private structures x contexts)."""
+    capacity = structure_capacity(structure, config, num_threads)
+    if structure in PRIVATE_STRUCTURES:
+        capacity *= num_threads
+    return capacity
+
+
+def draw_strike(seed: int, structure: Structure, index: int, cycles: int,
+                capacity: int, bits: int) -> StrikeSpec:
+    """Sample strike ``index`` of ``structure`` from its own substream.
+
+    The substream is keyed by (campaign seed, structure, index) alone, so
+    the draw is independent of worker count, batch shape and completion
+    order — the root of the campaign's byte-for-byte reproducibility.
+    """
+    seq = np.random.SeedSequence([seed, _STRUCT_SEED[structure], index])
+    rng = np.random.Generator(np.random.PCG64(seq))
+    return StrikeSpec(structure=structure, index=index,
+                      cycle=int(rng.integers(1, cycles + 1)),
+                      slot=int(rng.integers(0, capacity)),
+                      bit=int(rng.integers(0, bits)))
+
+
+# -- faulty-run observers ----------------------------------------------------------
+
+
+class StrikeInjector:
+    """Fires one ``inject_bit`` at the sampled cycle (probe-bus observer).
+
+    With ``retry_until_applied`` (forced-DUE mode) an idle slot is retried
+    every cycle until something lives there; otherwise an idle strike ends
+    the run immediately via :class:`_StrikeIdle` — its outcome is decided.
+    A protection scheme that detects the flip undoes the mutation and ends
+    the run via :class:`_StrikeDetected`.
+    """
+
+    def __init__(self, structure: Structure, slot: int, bit: int, cycle: int,
+                 protection: ProtectionScheme,
+                 retry_until_applied: bool = False) -> None:
+        self.structure = structure
+        self.slot = slot
+        self.bit = bit
+        self.cycle = cycle
+        self.protection = protection
+        self.retry_until_applied = retry_until_applied
+        self.receipt = None
+        self._armed = True
+
+    def on_cycle(self, core) -> None:
+        if not self._armed or core.cycle < self.cycle:
+            return
+        receipt = core.inject_bit(self.structure, self.slot, self.bit)
+        self.receipt = receipt
+        if not receipt.applied:
+            if self.retry_until_applied:
+                return
+            self._armed = False
+            raise _StrikeIdle()
+        self._armed = False
+        resolution = detected_outcome(self.protection)
+        if resolution is not None:
+            receipt.undo()
+            raise _StrikeDetected(resolution)
+
+
+class _ForcedHang:
+    """Un-completes a finished ROB head: a guaranteed, unsquashable hang.
+
+    The head is the oldest instruction of its thread, so no squash can
+    remove it, and its writeback event has already been consumed — nothing
+    will ever set ``completed_at`` again.  The thread stalls; once the
+    remaining threads drain, total commits go flat and the watchdog trips.
+    """
+
+    def __init__(self, after_cycle: int = 2) -> None:
+        self.after_cycle = after_cycle
+        self.done = False
+        self.target = ""
+
+    def on_cycle(self, core) -> None:
+        if self.done or core.cycle < self.after_cycle:
+            return
+        for t in core.threads:
+            head = t.rob.head()
+            if head is not None and head.completed_at >= 0 \
+                    and not head.wrong_path:
+                head.completed_at = -1
+                self.target = f"ROB[t{t.id}] head #{head.seq}"
+                self.done = True
+                return
+
+
+class _ForcedCrash:
+    """Redirects an in-flight destination to an unallocated physical
+    register: writeback (or squash) raises :class:`StructureError`, which
+    the strike runner must contain as DUE — never let escape."""
+
+    _BOGUS_PHYS = 1 << 30
+
+    def __init__(self, after_cycle: int = 2) -> None:
+        self.after_cycle = after_cycle
+        self.done = False
+        self.target = ""
+
+    def on_cycle(self, core) -> None:
+        if self.done or core.cycle < self.after_cycle:
+            return
+        for instr in core.issue_queue.entries():
+            if instr.phys_dest is not None and not instr.squashed:
+                instr.phys_dest = self._BOGUS_PHYS
+                self.target = f"IQ t{instr.thread_id}#{instr.seq}"
+                self.done = True
+                return
+
+
+# -- one faulty run ----------------------------------------------------------------
+
+
+def _contained_run(workload: Union[WorkloadMix, Sequence[str]], policy: str,
+                   config: MachineConfig, sim: SimConfig, golden: GoldenRun,
+                   live: LiveConfig, extra_observers: Sequence[object],
+                   ) -> Tuple[Optional[InjectionOutcome], str, DigestRecorder]:
+    """Run one faulty simulation with full outcome containment.
+
+    Returns ``(outcome, detail, recorder)``; ``outcome`` is None when the
+    run finished normally and the caller should classify by digest diff.
+    Nothing a strike does — hang, raise, corrupt — escapes this function,
+    so no strike can abort a campaign.
+    """
+    limit = int(golden.cycles * live.budget_factor) + live.budget_slack
+    faulty_sim = replace(sim, max_cycles=limit + 16)
+    recorder = DigestRecorder()
+    watchdog = Watchdog(limit, live.progress_window)
+    observers = (recorder, watchdog, *extra_observers)
+    session = SimSession(workload, policy=policy, config=config,
+                         sim=faulty_sim, traces=golden.traces,
+                         observers=observers, taint=True)
+    try:
+        if faulty_sim.functional_warmup:
+            functional_warmup(session.core, golden.traces)
+        session.core.run()
+    except _StrikeIdle:
+        return InjectionOutcome.MASKED_IDLE, "", recorder
+    except _StrikeDetected as sig:
+        outcome = (InjectionOutcome.DUE if sig.resolution == "due"
+                   else InjectionOutcome.CORRECTED)
+        return outcome, f"protection: {sig.resolution}", recorder
+    except HangDetected as exc:
+        return InjectionOutcome.HANG, str(exc), recorder
+    except (KeyboardInterrupt, SystemExit, MemoryError):
+        raise
+    except Exception as exc:  # noqa: BLE001 - containment is the contract
+        # The corrupted simulator failed loudly (a StructureError, an
+        # IndexError in a perturbed queue, ...): the hardware analogue of
+        # a machine-check — detected, unrecoverable, contained.
+        detail = f"contained {type(exc).__name__}: {exc}"
+        return InjectionOutcome.DUE, detail, recorder
+    return None, "", recorder
+
+
+def run_one_strike(spec: StrikeSpec,
+                   workload: Union[WorkloadMix, Sequence[str]], policy: str,
+                   config: MachineConfig, sim: SimConfig, golden: GoldenRun,
+                   protection: ProtectionScheme,
+                   live: LiveConfig) -> LiveStrikeRecord:
+    """Inject one strike, classify it, and leave the traces pristine."""
+    injector = StrikeInjector(spec.structure, spec.slot, spec.bit,
+                              spec.cycle, protection)
+    try:
+        outcome, detail, recorder = _contained_run(
+            workload, policy, config, sim, golden, live, (injector,))
+    finally:
+        # Trace objects are shared across strikes: restore any struck
+        # trace-owned field (e.g. a flipped mem_addr).  Pipeline-owned
+        # fields reset at the next run's fetch.
+        if injector.receipt is not None:
+            injector.receipt.undo()
+    if outcome is None:
+        if recorder.digest() == golden.digest:
+            outcome = InjectionOutcome.MASKED
+        else:
+            outcome = InjectionOutcome.SDC
+    target = injector.receipt.target if injector.receipt is not None else ""
+    return LiveStrikeRecord(structure=spec.structure, index=spec.index,
+                            cycle=spec.cycle, slot=spec.slot, bit=spec.bit,
+                            outcome=outcome, target=target, detail=detail)
+
+
+def run_forced_strike(kind: str,
+                      workload: Union[WorkloadMix, Sequence[str]],
+                      policy: str, config: MachineConfig, sim: SimConfig,
+                      golden: GoldenRun, live: LiveConfig) -> LiveStrikeRecord:
+    """Run one guaranteed-outcome strike (watchdog / containment probes).
+
+    ``hang`` must classify HANG, ``crash`` and ``due`` must classify DUE —
+    the CI smoke target asserts exactly that, proving the watchdog and the
+    exception containment on every push.
+    """
+    if kind == "hang":
+        hook: object = _ForcedHang()
+        injector = None
+    elif kind == "crash":
+        hook = _ForcedCrash()
+        injector = None
+    elif kind == "due":
+        hook = injector = StrikeInjector(Structure.IQ, slot=0, bit=0, cycle=1,
+                                         protection=ProtectionScheme.PARITY,
+                                         retry_until_applied=True)
+    else:
+        raise ReproError(f"unknown forced strike kind {kind!r}; "
+                         f"known: {', '.join(FORCED_KINDS)}")
+    try:
+        outcome, detail, recorder = _contained_run(
+            workload, policy, config, sim, golden, live, (hook,))
+    finally:
+        if injector is not None and injector.receipt is not None:
+            injector.receipt.undo()
+    if outcome is None:
+        # A forced hook that never found a target (should not happen on
+        # any real workload) falls through to digest classification.
+        outcome = (InjectionOutcome.MASKED
+                   if recorder.digest() == golden.digest
+                   else InjectionOutcome.SDC)
+    target = getattr(hook, "target", "") or (
+        injector.receipt.target if injector is not None
+        and injector.receipt is not None else "")
+    return LiveStrikeRecord(structure=Structure.IQ, index=-1, cycle=0,
+                            slot=0, bit=0, outcome=outcome,
+                            target=f"forced:{kind} {target}".strip(),
+                            detail=detail)
+
+
+# -- campaign ----------------------------------------------------------------------
+
+
+@dataclass
+class LiveCampaignResult:
+    """All structures' live campaigns plus validation statistics."""
+
+    workload: str
+    cycles: int
+    injections_per_structure: int
+    protection: ProtectionScheme
+    structures: Dict[Structure, StructureCampaign] = field(default_factory=dict)
+    records: List[LiveStrikeRecord] = field(default_factory=list)
+    forced: Dict[str, LiveStrikeRecord] = field(default_factory=dict)
+
+    def interval(self, structure: Structure,
+                 z: float = 1.959963984540054) -> Tuple[float, float]:
+        """Wilson CI of the structure's injection-estimated AVF."""
+        campaign = self.structures[structure]
+        sdc = campaign.outcomes.get(InjectionOutcome.SDC, 0)
+        return wilson_interval(sdc, campaign.injections, z=z)
+
+    def agrees(self, structure: Structure) -> bool:
+        """Does the ACE-computed AVF fall inside the live estimate's CI?"""
+        lo, hi = self.interval(structure)
+        return lo <= self.structures[structure].reported_avf <= hi
+
+    def verdict(self, structure: Structure) -> str:
+        """Per-structure comparison of the ACE AVF with the live CI.
+
+        ``agree`` — inside the interval; ``conservative`` — ACE above the
+        interval, the expected direction (ACE analysis upper-bounds true
+        vulnerability: ex-ACE state like a load's LSQ data copy after
+        writeback stays in the ledger's ACE window but cannot corrupt a
+        live run); ``ANOMALY`` — ACE *below* the interval, which an
+        upper-bound analysis can never legitimately produce.
+        """
+        lo, hi = self.interval(structure)
+        avf = self.structures[structure].reported_avf
+        if lo <= avf <= hi:
+            return "agree"
+        return "conservative" if avf > hi else "ANOMALY"
+
+    def summary(self) -> str:
+        validating = self.protection is ProtectionScheme.NONE
+        lines = [
+            f"Live fault injection — {self.workload} "
+            f"({self.injections_per_structure} strikes/structure, golden "
+            f"{self.cycles} cycles, protection {self.protection.value})",
+            f"{'structure':<10} {'ACE AVF':>8} {'live est':>9} "
+            f"{'95% CI':>17} {'masked':>7} {'due':>6} {'hang':>6} "
+            f"{'verdict':>12}",
+        ]
+        for s, c in self.structures.items():
+            lo, hi = self.interval(s)
+            verdict = self.verdict(s) if validating else "n/a"
+            lines.append(
+                f"{s.value:<10} {c.reported_avf:8.4f} {c.sdc_rate:9.4f} "
+                f"[{lo:6.4f}, {hi:6.4f}] {c.masked_rate:7.3f} "
+                f"{c.due_rate:6.3f} {c.hang_rate:6.3f} {verdict:>12}")
+        for kind, record in self.forced.items():
+            lines.append(f"forced {kind:<6} -> {record.outcome.name:<9} "
+                         f"({record.target})")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class LiveBatchJob:
+    """One batch of strikes on one structure as a supervised task.
+
+    Picklable: the worker re-derives the golden run from the campaign
+    parameters (memoized per process, so a worker pays for it once) and
+    runs its strikes.  The digest covers every outcome-affecting input, so
+    the supervisor's journal and the per-batch cache key resumed work
+    correctly.
+    """
+
+    workload_name: str
+    programs: Tuple[str, ...]
+    policy: str
+    config: MachineConfig
+    sim: SimConfig
+    seed: int
+    protection: ProtectionScheme
+    live: LiveConfig
+    structure: Structure
+    indices: Tuple[int, ...]
+
+    @property
+    def label(self) -> str:
+        lo = min(self.indices) if self.indices else 0
+        hi = max(self.indices) if self.indices else 0
+        return (f"live/{self.workload_name}/{self.structure.value}"
+                f"/{lo}-{hi}")
+
+    def _workload(self) -> Union[WorkloadMix, List[str]]:
+        mix = TABLE2_MIXES.get(self.workload_name)
+        if mix is not None and tuple(mix.programs) == self.programs:
+            return mix
+        return list(self.programs)
+
+    def key(self) -> Dict[str, object]:
+        return {
+            "live_schema": CAMPAIGN_SCHEMA_VERSION,
+            "workload": self.workload_name,
+            "programs": list(self.programs),
+            "policy": self.policy,
+            "machine": asdict(self.config),
+            "sim": asdict(self.sim),
+            "seed": self.seed,
+            "protection": self.protection.value,
+            "watchdog": asdict(self.live),
+            "structure": self.structure.value,
+            "indices": list(self.indices),
+        }
+
+    def digest(self) -> str:
+        blob = json.dumps(self.key(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+    def run(self) -> Dict[str, object]:
+        workload = self._workload()
+        golden = golden_run(workload, self.policy, self.config, self.sim)
+        num_threads = len(golden.names)
+        capacity = machine_capacity(self.structure, self.config, num_threads)
+        bits = strike_entry_bits(self.structure)
+        records = []
+        for index in self.indices:
+            spec = draw_strike(self.seed, self.structure, index,
+                               golden.cycles, capacity, bits)
+            record = run_one_strike(spec, workload, self.policy, self.config,
+                                    self.sim, golden, self.protection,
+                                    self.live)
+            records.append(record.to_payload())
+        return {"records": records}
+
+    def validate(self, payload: Dict[str, object]) -> None:
+        records = payload["records"]
+        if len(records) != len(self.indices):
+            raise ValueError(f"{len(records)} records for "
+                             f"{len(self.indices)} strikes")
+        for entry in records:
+            record = LiveStrikeRecord.from_payload(entry)
+            if record.structure is not self.structure:
+                raise ValueError(f"record for {record.structure.value}, "
+                                 f"expected {self.structure.value}")
+
+
+def _batched(indices: Sequence[int], batch: int) -> List[Tuple[int, ...]]:
+    batch = max(1, batch)
+    return [tuple(indices[i:i + batch])
+            for i in range(0, len(indices), batch)]
+
+
+def run_live_campaign(workload: Union[WorkloadMix, Sequence[str]],
+                      injections: int = 24,
+                      structures: Sequence[Structure] = INJECTABLE,
+                      policy: str = "ICOUNT",
+                      config: Optional[MachineConfig] = None,
+                      sim: Optional[SimConfig] = None,
+                      seed: int = 42,
+                      protection: ProtectionScheme = ProtectionScheme.NONE,
+                      live: Optional[LiveConfig] = None,
+                      forced: Sequence[str] = (),
+                      jobs: int = 1,
+                      supervisor=None,
+                      cache_dir: Optional[Union[str, Path]] = None,
+                      ) -> LiveCampaignResult:
+    """Run a live injection campaign over ``structures``.
+
+    ``injections`` strikes per structure are sampled, injected and
+    classified against the golden run; ``forced`` adds guaranteed-outcome
+    probe strikes (:data:`FORCED_KINDS`) reported separately.  With
+    ``jobs > 1`` or an explicit ``supervisor``, strike batches execute on
+    the supervised worker pool (timeouts, retries, resume via the
+    supervisor's journal); results are identical either way.  ``cache_dir``
+    persists each batch as ``live-<digest>.json``.
+    """
+    config = config or DEFAULT_CONFIG
+    base_sim = sim or SimConfig(max_instructions=600)
+    live = live or LiveConfig()
+    policy_name = policy if isinstance(policy, str) else policy.name
+    unsupported = [s for s in structures if s not in INJECTABLE]
+    if unsupported:
+        raise ReproError(f"cannot inject into {unsupported}; "
+                         f"supported: {list(INJECTABLE)}")
+    if injections < 0:
+        raise ReproError("injections must be >= 0")
+    if jobs < 1:
+        raise ReproError("jobs must be >= 1")
+    unknown = [k for k in forced if k not in FORCED_KINDS]
+    if unknown:
+        raise ReproError(f"unknown forced kinds {unknown}; "
+                         f"known: {list(FORCED_KINDS)}")
+
+    name = (workload.name if isinstance(workload, WorkloadMix)
+            else "+".join(workload))
+    programs = tuple(workload.programs if isinstance(workload, WorkloadMix)
+                     else workload)
+    golden = golden_run(workload, policy_name, config, base_sim)
+
+    jobs_list = [
+        LiveBatchJob(workload_name=name, programs=programs,
+                     policy=policy_name, config=config, sim=base_sim,
+                     seed=seed, protection=protection, live=live,
+                     structure=structure, indices=batch)
+        for structure in structures
+        for batch in _batched(range(injections), live.strike_batch)
+    ]
+
+    cache_root: Optional[Path] = None
+    if cache_dir is not None:
+        cache_root = _open_campaign_cache(cache_dir)
+
+    def cache_path(job: LiveBatchJob) -> Optional[Path]:
+        if cache_root is None:
+            return None
+        return cache_root / f"live-{job.digest()}.json"
+
+    def load_cached(job: LiveBatchJob) -> Optional[Dict[str, object]]:
+        path = cache_path(job)
+        if path is None:
+            return None
+        try:
+            entry = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        if (not isinstance(entry, dict)
+                or entry.get("schema") != CAMPAIGN_SCHEMA_VERSION):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        try:
+            job.validate(entry)
+        except Exception:
+            return None
+        return entry
+
+    def store_cached(job: LiveBatchJob, payload: Dict[str, object]) -> None:
+        path = cache_path(job)
+        if path is None:
+            return
+        from repro.experiments.runner import atomic_write_json
+
+        entry = {"schema": CAMPAIGN_SCHEMA_VERSION,
+                 "records": payload["records"]}
+        atomic_write_json(path, entry)
+
+    by_key: Dict[Tuple[int, int], LiveStrikeRecord] = {}
+    order = {s: i for i, s in enumerate(structures)}
+
+    def commit(job: LiveBatchJob, payload: Dict[str, object]) -> None:
+        for entry in payload["records"]:
+            record = LiveStrikeRecord.from_payload(entry)
+            by_key[(order[record.structure], record.index)] = record
+        store_cached(job, payload)
+
+    def already_done(job: LiveBatchJob) -> bool:
+        entry = load_cached(job)
+        if entry is None:
+            return False
+        for raw in entry["records"]:
+            record = LiveStrikeRecord.from_payload(raw)
+            by_key[(order[record.structure], record.index)] = record
+        return True
+
+    if supervisor is None and jobs == 1:
+        for job in jobs_list:
+            if already_done(job):
+                continue
+            commit(job, job.run())
+    else:
+        if supervisor is None:
+            from repro.resilience import RetryPolicy, Supervisor
+
+            supervisor = Supervisor(
+                max_workers=jobs,
+                policy=RetryPolicy(retries=1, max_failures=0))
+        supervisor.run(jobs_list, commit=commit, already_done=already_done)
+
+    result = LiveCampaignResult(workload=name, cycles=golden.cycles,
+                                injections_per_structure=injections,
+                                protection=protection)
+    result.records = [by_key[key] for key in sorted(by_key)]
+    for structure in structures:
+        campaign = StructureCampaign(
+            structure=structure, injections=injections,
+            reported_avf=float(golden.avf[structure]))
+        for record in result.records:
+            if record.structure is structure:
+                campaign.outcomes[record.outcome] = (
+                    campaign.outcomes.get(record.outcome, 0) + 1)
+        result.structures[structure] = campaign
+
+    for kind in forced:
+        result.forced[kind] = run_forced_strike(
+            kind, workload, policy_name, config, base_sim, golden, live)
+    return result

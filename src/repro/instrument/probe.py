@@ -16,6 +16,8 @@ residency subscriber and drives the observer lifecycle:
     the measurement window restarted (end of timing warmup);
 ``on_cycle(core)``
     one simulated cycle finished (all stages ran);
+``on_commit(core, instr)``
+    one instruction retired (live fault injection's digest capture);
 ``on_finalize(core)``
     the run drained — every residency interval is closed.
 
@@ -90,12 +92,13 @@ class Instrumentation:
     """
 
     __slots__ = ("probe", "bus", "ledger", "recorder", "cycle_hooks",
-                 "reset_hooks", "finalize_hooks", "dl1_observer",
-                 "dtlb_observer")
+                 "reset_hooks", "finalize_hooks", "commit_hooks", "taint",
+                 "dl1_observer", "dtlb_observer")
 
     def __init__(self, probe, bus: Optional["ProbeBus"] = None, ledger=None,
                  recorder=None, cycle_hooks: Tuple = (),
                  reset_hooks: Tuple = (), finalize_hooks: Tuple = (),
+                 commit_hooks: Tuple = (), taint: bool = False,
                  dl1_observer=None, dtlb_observer=None) -> None:
         self.probe = probe
         self.bus = bus
@@ -104,6 +107,8 @@ class Instrumentation:
         self.cycle_hooks = cycle_hooks
         self.reset_hooks = reset_hooks
         self.finalize_hooks = finalize_hooks
+        self.commit_hooks = commit_hooks
+        self.taint = taint
         self.dl1_observer = dl1_observer
         self.dtlb_observer = dtlb_observer
 
@@ -126,6 +131,7 @@ class ProbeBus:
         self._residency: List[ResidencyProbe] = []
         self._reset: List[object] = []
         self._cycle: List[object] = []
+        self._commit: List[object] = []
         self._finalize: List[object] = []
 
     # -- wiring ------------------------------------------------------------------
@@ -145,6 +151,8 @@ class ProbeBus:
             self._reset.append(subscriber)
         if hasattr(subscriber, "on_cycle"):
             self._cycle.append(subscriber)
+        if hasattr(subscriber, "on_commit"):
+            self._commit.append(subscriber)
         if hasattr(subscriber, "on_finalize"):
             self._finalize.append(subscriber)
         return subscriber
@@ -166,13 +174,16 @@ class ProbeBus:
             return self._residency[0]
         return self
 
-    def attach(self, ledger=None, recorder=None) -> Instrumentation:
+    def attach(self, ledger=None, recorder=None,
+               taint: bool = False) -> Instrumentation:
         """Freeze the current wiring into an :class:`Instrumentation`.
 
         ``ledger`` is the subscriber exposed as ``core.engine`` (and the
         source of the cache/TLB observers, which sample aggregates directly
         rather than through the bus); ``recorder`` is exposed to the audit
-        layer for interval-replay cross-validation.
+        layer for interval-replay cross-validation.  ``taint`` switches on
+        the core's value-taint propagation (live fault injection); normal
+        runs leave it off and pay nothing for it.
         """
         return Instrumentation(
             probe=self.residency_probe(),
@@ -182,6 +193,8 @@ class ProbeBus:
             cycle_hooks=tuple(self._cycle),
             reset_hooks=tuple(self._reset),
             finalize_hooks=tuple(self._finalize),
+            commit_hooks=tuple(self._commit),
+            taint=taint,
             dl1_observer=getattr(ledger, "dl1_observer", None),
             dtlb_observer=getattr(ledger, "dtlb_observer", None),
         )
@@ -211,6 +224,10 @@ class ProbeBus:
     def on_cycle(self, core) -> None:
         for subscriber in self._cycle:
             subscriber.on_cycle(core)
+
+    def on_commit(self, core, instr) -> None:
+        for subscriber in self._commit:
+            subscriber.on_commit(core, instr)
 
     def on_finalize(self, core) -> None:
         for subscriber in self._finalize:

@@ -53,6 +53,7 @@ class DynInstr:
         "rob_index", "lsq_index", "iq_slot",
         "squashed", "mispredicted", "dl1_missed", "l2_missed",
         "mem_ready_at", "fetch_stamp", "prediction", "pending_srcs",
+        "value_tag",
     )
 
     def __init__(
@@ -102,6 +103,7 @@ class DynInstr:
         self.fetch_stamp = -1    # per-thread monotonic fetch order (squash boundary)
         self.prediction = None   # BranchPrediction attached at fetch (control ops)
         self.pending_srcs = 0    # un-produced renamed sources (issue wakeup)
+        self.value_tag = 0       # taint accumulator for live fault injection
 
     # -- classification helpers ------------------------------------------------
 

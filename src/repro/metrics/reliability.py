@@ -8,9 +8,37 @@ error rate.
 
 from __future__ import annotations
 
-from typing import Dict, Mapping
+import math
+from typing import Dict, Mapping, Tuple
 
 _EPSILON = 1e-12
+
+
+def wilson_interval(successes: int, trials: int,
+                    z: float = 1.959963984540054) -> Tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    The live fault-injection validation uses this to ask whether the
+    ACE-computed AVF falls inside the statistical-injection estimate's
+    confidence interval (paper Section 2: the two methodologies must
+    agree up to sampling error).  Wilson rather than the normal
+    approximation because campaign SDC counts are small and the rates
+    sit near 0 for lightly occupied structures.  ``z`` defaults to the
+    two-sided 95% quantile.
+    """
+    if trials < 0:
+        raise ValueError("trials must be non-negative")
+    if not 0 <= successes <= trials:
+        raise ValueError(f"successes ({successes}) outside [0, {trials}]")
+    if trials == 0:
+        return 0.0, 1.0  # no information: the vacuous interval
+    p = successes / trials
+    z2 = z * z
+    denom = 1.0 + z2 / trials
+    centre = (p + z2 / (2 * trials)) / denom
+    half = (z * math.sqrt(p * (1 - p) / trials + z2 / (4 * trials * trials))
+            / denom)
+    return max(0.0, centre - half), min(1.0, centre + half)
 
 
 def reliability_efficiency(ipc_value: float, avf: float) -> float:

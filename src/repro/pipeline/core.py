@@ -17,9 +17,9 @@ from __future__ import annotations
 from typing import Dict, List, Tuple
 
 from repro.config import MachineConfig, SimConfig
-from repro.errors import SimulationError
+from repro.errors import SimulationError, StructureError
 from repro.fetch.base import FetchPolicy
-from repro.instrument import Instrumentation
+from repro.instrument import Instrumentation, Structure
 from repro.isa.instruction import DynInstr
 from repro.isa.opcodes import OpClass
 from repro.memory.hierarchy import MemoryHierarchy
@@ -85,6 +85,21 @@ class SMTCore:
             for start in range(self.num_threads)
         ]
         self._cycle_hooks = instruments.cycle_hooks
+        self._commit_hooks = instruments.commit_hooks
+        # Value-taint propagation (live fault injection).  Off by default:
+        # a normal run pays one falsy check per issue/writeback/commit.
+        self._taint = instruments.taint
+        # Taint of committed memory words (8-byte aligned); empty while the
+        # run is clean, so golden runs allocate nothing here.
+        self.mem_tags: Dict[int, int] = {}
+        if self._taint:
+            # Traces are shared across a campaign's runs and fetch-time
+            # resets only cover instructions this run actually fetches: a
+            # stale tag from a previous strike would read as this run's
+            # corruption.  Start taint-clean.
+            for trace in traces:
+                for instr in trace.instrs:
+                    instr.value_tag = 0
 
         # Statistics.
         self.mispredict_squashes = 0
@@ -192,6 +207,16 @@ class SMTCore:
                     t.lsq.remove_committed(head, self.cycle)
                 self._regfile.on_commit(head, self.cycle)
                 head.committed_at = self.cycle
+                if self._taint and head.is_store and not head.wrong_path:
+                    addr = head.mem_addr & ~0x7
+                    if head.value_tag:
+                        self.mem_tags[addr] = head.value_tag
+                    else:
+                        # A clean store overwrites tainted memory: masked.
+                        self.mem_tags.pop(addr, None)
+                if self._commit_hooks:
+                    for hook in self._commit_hooks:
+                        hook.on_commit(self, head)
                 t.committed += 1
                 self.total_committed += 1
                 budget -= 1
@@ -223,7 +248,9 @@ class SMTCore:
                 self.policy.on_load_resolved(self, instr)
             instr.completed_at = self.cycle
             if instr.phys_dest is not None:
-                self._regfile.mark_written(instr.phys_dest, self.cycle)
+                self._regfile.mark_written(
+                    instr.phys_dest, self.cycle,
+                    instr.value_tag if self._taint else 0)
                 self._wake_waiters(instr.phys_dest)
             if instr.is_control:
                 self._resolve_control(t, instr)
@@ -292,6 +319,10 @@ class SMTCore:
             self._fu_pool.issue(instr, self.cycle)
             for phys in instr.phys_srcs:
                 self._regfile.note_read(phys, self.cycle, instr.is_ace)
+            if self._taint:
+                for phys in instr.phys_srcs:
+                    if phys is not None:
+                        instr.value_tag |= self._regfile.tag_of(phys)
             instr.issued_at = self.cycle
             self._iq.remove_issued(instr, self.cycle)
             budget -= 1
@@ -304,10 +335,14 @@ class SMTCore:
             if store.completed_at < 0:
                 return False  # wait for the store's data
             t.lsq.forwards += 1
+            if self._taint:
+                instr.value_tag |= store.value_tag
             self._schedule(instr, self.config.agen_latency + 1, False, False)
             return True
         if not self.mem.claim_dl1_port():
             return False
+        if self._taint and self.mem_tags:
+            instr.value_tag |= self.mem_tags.get(instr.mem_addr & ~0x7, 0)
         result = self.mem.data_access(instr.mem_addr, self.cycle + 1,
                                       instr.thread_id, is_write=False)
         instr.dl1_missed = result.dl1_miss
@@ -464,6 +499,32 @@ class SMTCore:
         instr.l2_missed = False
         instr.prediction = None
         instr.pending_srcs = 0
+        instr.value_tag = 0
+
+    # -- live fault injection --------------------------------------------------------------------------------
+
+    def inject_bit(self, structure: Structure, slot: int, bit: int):
+        """Flip bit ``bit`` of entry ``slot`` of ``structure``, live.
+
+        ``slot`` indexes the structure's *machine-wide* capacity — private
+        structures (ROB, LSQ, per-thread arch backing in the register pool)
+        concatenate their per-thread banks in thread order, matching the
+        capacities the ACE ledger normalises by (repro.avf.bits).  Returns
+        the :class:`~repro.structures.strike.StrikeReceipt` for undo.
+        """
+        if structure is Structure.IQ:
+            return self._iq.inject_bit(slot, bit)
+        if structure is Structure.ROB:
+            tid, index = divmod(slot, self.config.rob_entries)
+            return self.threads[tid].rob.inject_bit(index, bit, self.cycle)
+        if structure in (Structure.LSQ_TAG, Structure.LSQ_DATA):
+            tid, index = divmod(slot, self.config.lsq_entries)
+            return self.threads[tid].lsq.inject_bit(index, bit, structure)
+        if structure is Structure.REG:
+            return self._regfile.inject_bit(slot, bit)
+        if structure is Structure.FU:
+            return self._fu_pool.inject_bit(slot, bit)
+        raise StructureError(f"structure {structure.value} is not injectable")
 
     # -- helpers -----------------------------------------------------------------------------------------------
 

@@ -9,7 +9,11 @@ AVF report and a raw error rate, choose per-structure protection schemes
 is minimised — protecting hotspots first, exactly as Section 5 prescribes.
 """
 
-from repro.protection.schemes import ProtectionScheme, SCHEME_PROPERTIES
+from repro.protection.schemes import (
+    ProtectionScheme,
+    SCHEME_PROPERTIES,
+    detected_outcome,
+)
 from repro.protection.planner import (
     ProtectedEstimate,
     ProtectionPlan,
@@ -20,6 +24,7 @@ from repro.protection.planner import (
 __all__ = [
     "ProtectionScheme",
     "SCHEME_PROPERTIES",
+    "detected_outcome",
     "ProtectionPlan",
     "ProtectedEstimate",
     "apply_protection",

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
+from typing import Optional
 
 
 class ProtectionScheme(Enum):
@@ -33,6 +34,23 @@ class SchemeProperties:
     sdc_fraction: float    # of ACE strikes, fraction escaping silently
     due_fraction: float    # of ACE strikes, fraction detected-but-fatal
     area_overhead: float   # extra bits per protected bit
+
+
+def detected_outcome(scheme: ProtectionScheme) -> Optional[str]:
+    """How a live strike on an *occupied*, protected entry resolves.
+
+    ``"due"`` for parity (the flip is detected before consumption and the
+    machine stops — conservatively even for un-ACE state, the standard
+    fail-stop parity model), ``"corrected"`` for ECC (single-bit flips are
+    repaired in place), ``None`` for no protection (the strike plays out
+    and the digest decides).  Idle slots are masked under every scheme:
+    there is nothing to detect.
+    """
+    if scheme is ProtectionScheme.PARITY:
+        return "due"
+    if scheme is ProtectionScheme.ECC:
+        return "corrected"
+    return None
 
 
 SCHEME_PROPERTIES = {

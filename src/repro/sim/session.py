@@ -77,7 +77,9 @@ class SimSession:
                  config: Optional[MachineConfig] = None,
                  sim: Optional[SimConfig] = None,
                  traces: Optional[List[ThreadTrace]] = None,
-                 trace_out: Optional[str] = None) -> None:
+                 trace_out: Optional[str] = None,
+                 observers: Sequence[object] = (),
+                 taint: bool = False) -> None:
         self.config = config or DEFAULT_CONFIG
         self.sim = sim or SimConfig()
         self.workload = workload
@@ -107,10 +109,17 @@ class SimSession:
                            trace_writer=writer))
         if writer is not None:
             self.bus.subscribe(writer)
+        # Extra observers (live fault injection's digest recorder, watchdog
+        # and strike hook) subscribe after the standard set; none of them
+        # implements the residency protocol, so the single-subscriber fast
+        # path — the ledger called directly — is preserved.
+        for observer in observers:
+            self.bus.subscribe(observer)
 
         self.core = SMTCore(traces, self.config, self.policy, self.sim,
                             self.bus.attach(ledger=self.engine,
-                                            recorder=self.recorder))
+                                            recorder=self.recorder,
+                                            taint=taint))
 
     def run(self) -> SimResult:
         """Optionally warm functionally, run the core, package the result."""

@@ -13,9 +13,10 @@ from __future__ import annotations
 from typing import Dict, List, Tuple
 
 from repro.config import MachineConfig
-from repro.instrument import ResidencyProbe
+from repro.instrument import ResidencyProbe, Structure
 from repro.isa.instruction import DynInstr
 from repro.isa.opcodes import FUType, OpClass, execution_latency, fu_type_for
+from repro.structures.strike import StrikeReceipt, payload_token
 
 
 class FunctionalUnitPool:
@@ -77,3 +78,30 @@ class FunctionalUnitPool:
     @property
     def total_units(self) -> int:
         return sum(self._counts.values())
+
+    # -- live fault injection ----------------------------------------------------
+
+    def inject_bit(self, slot: int, bit: int) -> StrikeReceipt:
+        """Flip one latch bit of pool unit ``slot``; see strike.py.
+
+        Units are numbered across the pool in Table-1 order (I-ALUs first,
+        FP-MUL/DIV last).  A unit holding a reservation has the in-flight
+        operation's state in its latches, so the flip taints that
+        instruction's result; an idle unit exposes nothing.
+        """
+        remaining = slot
+        for fu, count in self._counts.items():
+            if remaining >= count:
+                remaining -= count
+                continue
+            reservations = self._busy[fu]
+            if remaining >= len(reservations):
+                return StrikeReceipt.idle(f"FU[{fu.name}#{remaining}]")
+            instr = reservations[remaining][1]
+            receipt = StrikeReceipt(
+                True, f"FU[{fu.name}#{remaining}]=t{instr.thread_id}#{instr.seq}",
+                "value")
+            receipt.record(instr, "value_tag")
+            instr.value_tag ^= payload_token(Structure.FU, bit)
+            return receipt
+        return StrikeReceipt.idle(f"FU[{slot}]")

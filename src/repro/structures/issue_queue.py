@@ -14,6 +14,7 @@ from typing import Callable, Dict, Iterable, List
 from repro.errors import StructureError
 from repro.instrument import ResidencyProbe, Structure
 from repro.isa.instruction import DynInstr
+from repro.structures.strike import StrikeReceipt, locate_field, payload_token
 
 
 class SharedIssueQueue:
@@ -86,3 +87,27 @@ class SharedIssueQueue:
 
     def entries(self) -> Iterable[DynInstr]:
         return tuple(self._entries)
+
+    # -- live fault injection ----------------------------------------------------
+
+    def inject_bit(self, slot: int, bit: int) -> StrikeReceipt:
+        """Flip one bit of IQ entry ``slot`` (dispatch order); see strike.py.
+
+        Payload bits taint the waiting instruction's value; the scheduler
+        bits flip its wakeup state (``pending_srcs``), which can issue an
+        operand-less instruction early or strand one forever — the live
+        model's source of IQ-induced hangs.
+        """
+        if slot >= len(self._entries):
+            return StrikeReceipt.idle(f"IQ[{slot}]")
+        instr = self._entries[slot]
+        field, offset = locate_field(Structure.IQ, bit)
+        receipt = StrikeReceipt(True, f"IQ[{slot}]=t{instr.thread_id}#{instr.seq}",
+                                field)
+        if field == "sched":
+            receipt.record(instr, "pending_srcs")
+            instr.pending_srcs ^= 1 + (offset & 1)
+        else:
+            receipt.record(instr, "value_tag")
+            instr.value_tag ^= payload_token(Structure.IQ, bit)
+        return receipt

@@ -19,6 +19,7 @@ from typing import Deque, List, Optional
 from repro.errors import StructureError
 from repro.instrument import ResidencyProbe, Structure
 from repro.isa.instruction import DynInstr
+from repro.structures.strike import StrikeReceipt, locate_field, payload_token
 
 _WORD_MASK = ~0x7  # forwarding granularity: aligned 8-byte words
 
@@ -92,3 +93,34 @@ class LoadStoreQueue:
         if instr.completed_at >= 0:
             self._probe.occupy(Structure.LSQ_DATA, self.thread_id,
                                instr.renamed_at, instr.completed_at, False)
+
+    # -- live fault injection ----------------------------------------------------
+
+    def inject_bit(self, index: int, bit: int,
+                   structure: Structure) -> StrikeReceipt:
+        """Flip one bit of LSQ entry ``index`` (0 = oldest); see strike.py.
+
+        The tag half's address bits really flip ``mem_addr`` (redirecting
+        the access and store-to-load forwarding) *and* taint the value —
+        an access to the wrong address is architecturally wrong data.  The
+        data half holds a valid word only once the operation has produced
+        it (``completed_at``), mirroring the ledger's un-ACE window; before
+        that the flip lands in garbage and is left unapplied-in-effect.
+        """
+        if index >= len(self._entries):
+            half = "TAG" if structure is Structure.LSQ_TAG else "DATA"
+            return StrikeReceipt.idle(f"LSQ_{half}[t{self.thread_id}][{index}]")
+        instr = self._entries[index]
+        field, offset = locate_field(structure, bit)
+        receipt = StrikeReceipt(
+            True, f"{structure.value}[t{self.thread_id}][{index}]=#{instr.seq}",
+            field)
+        if structure is Structure.LSQ_DATA and instr.completed_at < 0:
+            receipt.field = "value (not yet valid)"
+            return receipt
+        if field == "addr":
+            receipt.record(instr, "mem_addr")
+            instr.mem_addr ^= 1 << offset
+        receipt.record(instr, "value_tag")
+        instr.value_tag ^= payload_token(structure, bit)
+        return receipt

@@ -16,15 +16,17 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import StructureError
-from repro.instrument import ResidencyProbe
+from repro.instrument import ResidencyProbe, Structure
 from repro.isa.instruction import DynInstr
+from repro.structures.strike import StrikeReceipt, payload_token
 from repro.workload.generator import FP_REG_BASE
 
 
 class _PhysReg:
     """Lifetime metadata of one allocated physical register."""
 
-    __slots__ = ("thread_id", "alloc_cycle", "written_cycle", "last_ace_read", "ready")
+    __slots__ = ("thread_id", "alloc_cycle", "written_cycle", "last_ace_read",
+                 "ready", "tag")
 
     def __init__(self, thread_id: int, alloc_cycle: int) -> None:
         self.thread_id = thread_id
@@ -32,6 +34,7 @@ class _PhysReg:
         self.written_cycle = -1
         self.last_ace_read = -1
         self.ready = False
+        self.tag = 0  # taint carried by the register's value (live injection)
 
 
 class PhysicalRegisterFile:
@@ -94,14 +97,25 @@ class PhysicalRegisterFile:
     def sources_ready(self, instr: DynInstr) -> bool:
         return all(self.is_ready(p) for p in instr.phys_srcs)
 
-    def mark_written(self, phys: int, cycle: int) -> None:
-        """Producer writeback: the register now holds valid data."""
+    def mark_written(self, phys: int, cycle: int, tag: int = 0) -> None:
+        """Producer writeback: the register now holds valid data.
+
+        ``tag`` is the producer's taint (live injection); the write
+        replaces the register's previous contents, so a pre-writeback
+        strike on this register is masked exactly as in real hardware.
+        """
         meta = self._meta.get(phys)
         if meta is None:
             raise StructureError(f"writeback to unallocated phys reg {phys}")
         meta.ready = True
+        meta.tag = tag
         if meta.written_cycle < 0:
             meta.written_cycle = cycle
+
+    def tag_of(self, phys: int) -> int:
+        """The taint a consumer picks up by reading ``phys`` (0 = clean)."""
+        meta = self._meta.get(phys)
+        return meta.tag if meta is not None else 0
 
     def note_read(self, phys: Optional[int], cycle: int, ace_reader: bool) -> None:
         """A consumer issued and read this register."""
@@ -147,3 +161,22 @@ class PhysicalRegisterFile:
             self.free(phys, cycle)
         for rmap in self._rename:
             rmap.clear()
+
+    # -- live fault injection ----------------------------------------------------
+
+    def inject_bit(self, phys: int, bit: int) -> StrikeReceipt:
+        """Flip one data bit of physical register ``phys``; see strike.py.
+
+        A free register is idle (nothing lives there); an allocated one is
+        tainted in place — if the producer has not written back yet, the
+        eventual write overwrites the taint (masked, matching the ledger's
+        un-ACE allocation window), and after the last read the taint flows
+        nowhere.
+        """
+        meta = self._meta.get(phys)
+        if meta is None:
+            return StrikeReceipt.idle(f"REG[p{phys}]")
+        receipt = StrikeReceipt(True, f"REG[p{phys}]=t{meta.thread_id}", "value")
+        receipt.record(meta, "tag")
+        meta.tag ^= payload_token(Structure.REG, bit)
+        return receipt

@@ -13,6 +13,7 @@ from typing import Deque, List, Optional
 from repro.errors import StructureError
 from repro.instrument import ResidencyProbe, Structure
 from repro.isa.instruction import DynInstr
+from repro.structures.strike import StrikeReceipt, locate_field, payload_token
 
 
 class ReorderBuffer:
@@ -80,3 +81,27 @@ class ReorderBuffer:
     def _accrue(self, instr: DynInstr, cycle: int) -> None:
         self._probe.occupy(Structure.ROB, self.thread_id,
                            instr.renamed_at, cycle, instr.is_ace)
+
+    # -- live fault injection ----------------------------------------------------
+
+    def inject_bit(self, index: int, bit: int, cycle: int) -> StrikeReceipt:
+        """Flip one bit of ROB entry ``index`` (0 = head); see strike.py.
+
+        Payload bits taint the entry's value/identity; the status bits
+        toggle its completion flag — un-completing a finished entry strands
+        the commit head (a hang), prematurely completing an unexecuted one
+        lets it commit or collide with its own later writeback.
+        """
+        if index >= len(self._entries):
+            return StrikeReceipt.idle(f"ROB[t{self.thread_id}][{index}]")
+        instr = self._entries[index]
+        field, _offset = locate_field(Structure.ROB, bit)
+        receipt = StrikeReceipt(
+            True, f"ROB[t{self.thread_id}][{index}]=#{instr.seq}", field)
+        if field == "status":
+            receipt.record(instr, "completed_at")
+            instr.completed_at = -1 if instr.completed_at >= 0 else cycle
+        else:
+            receipt.record(instr, "value_tag")
+            instr.value_tag ^= payload_token(Structure.ROB, bit)
+        return receipt

@@ -1,0 +1,121 @@
+"""Bit-level strike primitives shared by the injectable structures.
+
+Live fault injection (:mod:`repro.faultinject.live`) flips one bit of one
+entry of one structure mid-run.  Each structure exposes an ``inject_bit``
+mutation hook; this module holds what those hooks share:
+
+* the per-entry *field layout* mapping a sampled bit index to a semantic
+  field (a payload bit, a scheduler wakeup bit, a completion-status bit,
+  an address bit), kept width-for-width equal to the entry widths the ACE
+  ledger aggregates with (:mod:`repro.avf.bits` — a test asserts the sums
+  match, since this layer must not import ``repro.avf``);
+* :func:`payload_token` — the nonzero 64-bit taint constant a payload flip
+  XORs into the victim's ``value_tag``, unique per (structure, bit) so
+  independent strikes can never cancel;
+* :class:`StrikeReceipt` — the undo record a hook returns, so a campaign
+  can restore shared trace objects (e.g. a flipped ``mem_addr``) after the
+  faulty run and reuse them for the next strike.
+
+The simulator carries no data values (it is trace-driven), so a payload
+flip is modelled as *taint*: the token propagates through register reads,
+store-to-load forwarding and memory exactly like a corrupted value would,
+and the architectural digest at commit decides whether it ever reached
+architecturally required state.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.errors import StructureError
+from repro.instrument.structures import Structure
+
+_M64 = (1 << 64) - 1
+
+#: Field layout per injectable structure: ordered (field, width) pairs.
+#: Widths sum to the ledger's per-entry bit counts (repro.avf.bits); the
+#: non-payload minority models control state whose corruption perturbs
+#: scheduling (wakeup/status bits) rather than data — the bits that turn
+#: into hangs instead of SDC.
+ENTRY_LAYOUT: Dict[Structure, Tuple[Tuple[str, int], ...]] = {
+    Structure.IQ: (("value", 60), ("sched", 4)),
+    Structure.ROB: (("value", 66), ("status", 6)),
+    Structure.LSQ_TAG: (("addr", 44), ("meta", 8)),
+    Structure.LSQ_DATA: (("value", 64),),
+    Structure.REG: (("value", 64),),
+    Structure.FU: (("value", 208),),
+}
+
+
+def entry_bits(structure: Structure) -> int:
+    """Bits per entry of ``structure`` (the strike sampler's bit range)."""
+    layout = ENTRY_LAYOUT.get(structure)
+    if layout is None:
+        raise StructureError(f"no strike layout for {structure}")
+    return sum(width for _field, width in layout)
+
+
+def locate_field(structure: Structure, bit: int) -> Tuple[str, int]:
+    """Map a bit index to its (field name, offset within the field)."""
+    remaining = bit
+    for field, width in ENTRY_LAYOUT[structure]:
+        if remaining < width:
+            return field, remaining
+        remaining -= width
+    raise StructureError(
+        f"bit {bit} outside {structure.value} entry "
+        f"({entry_bits(structure)} bits)")
+
+
+def payload_token(structure: Structure, bit: int) -> int:
+    """Deterministic nonzero 64-bit taint token for one (structure, bit).
+
+    splitmix64 finalizer over a structure/bit seed: well-spread, cheap,
+    and forced odd so no token is ever zero (a zero token would make the
+    flip invisible to the digest).
+    """
+    seed = (_STRUCT_ID[structure] << 16) | (bit & 0xFFFF)
+    z = (seed + 0x9E3779B97F4A7C15) & _M64
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _M64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _M64
+    return ((z ^ (z >> 31)) | 1) & _M64
+
+
+_STRUCT_ID = {s: i for i, s in enumerate(ENTRY_LAYOUT)}
+
+
+class StrikeReceipt:
+    """What one ``inject_bit`` call did, and how to take it back.
+
+    ``applied`` is False when the struck slot held nothing (the strike is
+    masked by idleness before the run even continues).  ``undo()``
+    restores every recorded attribute in reverse order — required because
+    campaigns share trace objects across strikes, and a flip may land on
+    a trace-owned field (``mem_addr``) that per-fetch pipeline resets do
+    not cover.
+    """
+
+    __slots__ = ("applied", "target", "field", "_undo")
+
+    def __init__(self, applied: bool, target: str, field: str = "") -> None:
+        self.applied = applied
+        self.target = target
+        self.field = field
+        self._undo: List[Tuple[object, str, object]] = []
+
+    @classmethod
+    def idle(cls, target: str) -> "StrikeReceipt":
+        return cls(applied=False, target=target)
+
+    def record(self, obj: object, attr: str) -> None:
+        """Snapshot ``obj.attr`` for undo; call before mutating it."""
+        self._undo.append((obj, attr, getattr(obj, attr)))
+
+    def undo(self) -> None:
+        for obj, attr, value in reversed(self._undo):
+            setattr(obj, attr, value)
+        self._undo.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = self.field or "idle"
+        return f"StrikeReceipt({self.target}, {state})"
