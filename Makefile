@@ -39,7 +39,8 @@ bench-kernel:
 # benchmark (which exercises no simulator code).  Two candidate runs are
 # taken and the checker keeps the per-benchmark best, so a one-off
 # scheduler spike in either run cannot fail the gate while a sustained
-# regression still does.
+# regression still does.  The --max-ratio clause additionally holds the
+# vector backend to a fraction of the committed Python-kernel baseline.
 bench-kernel-check: bench-kernel
 	PYTHONPATH=src PYTHONHASHSEED=0 $(PYTHON) -m pytest \
 		benchmarks/test_sim_kernel.py --benchmark-only \
@@ -48,7 +49,9 @@ bench-kernel-check: bench-kernel
 	$(PYTHON) tools/check_bench_regression.py BENCH_kernel.json \
 		benchmarks/out/kernel.json benchmarks/out/kernel-rerun.json \
 		--threshold 0.15 \
-		--control test_trace_generation_throughput
+		--control test_trace_generation_throughput \
+		--max-ratio \
+		'test_kernel_cycle_throughput[vector]/test_kernel_cycle_throughput[python]=0.2'
 
 reproduce:
 	$(PYTHON) -m repro.cli reproduce --out reproduction

@@ -7,8 +7,9 @@ mostly cache hits after the first run).
 
 import pytest
 
-from repro.config import SimConfig
-from repro.sim.simulator import simulate
+from repro.config import MachineConfig, SimConfig
+from repro.sim.session import SimSession, functional_warmup
+from repro.sim.simulator import build_traces, simulate
 from repro.workload.generator import generate_trace
 from repro.workload.mixes import get_mix
 from repro.workload.spec2000 import get_profile
@@ -30,6 +31,33 @@ def test_smt_simulation_throughput(benchmark, workload):
 
     result = benchmark.pedantic(run, rounds=2, iterations=1)
     assert result.committed >= sim.max_instructions
+
+
+@pytest.mark.parametrize("backend", ["python", "vector"])
+def test_kernel_cycle_throughput(benchmark, backend):
+    """Cycle-loop-only timing of both backends on one workload.
+
+    Times ``core.run()`` alone — traces are prebuilt and the functional
+    warmup happens in setup — so the vector/python ratio measures the
+    kernels themselves, not trace generation or report assembly.  The
+    scenario (one memory-bound thread, elevated memory latency) is the
+    paper's single-thread stall regime, where the cycle loop dominates:
+    the ``--max-ratio`` gate in ``make bench-kernel-check`` holds the
+    vector kernel to a fraction of the Python baseline here.
+    """
+    sim = SimConfig(max_instructions=3000, seed=11)
+    machine = MachineConfig(memory_latency=800)
+    traces = build_traces(["lucas"], sim)
+
+    def fresh_core():
+        session = SimSession(["lucas"], config=machine, sim=sim,
+                             traces=list(traces), backend=backend)
+        functional_warmup(session.core, session.traces)
+        return (session.core,), {}
+
+    cycles = benchmark.pedantic(lambda core: core.run(), setup=fresh_core,
+                                rounds=7, iterations=1)
+    assert cycles > 0
 
 
 def test_flush_policy_simulation(benchmark):

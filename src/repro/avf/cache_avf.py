@@ -62,7 +62,12 @@ class Dl1AvfObserver:
         thread = line.thread_id
 
         # --- data array: per-word ACE intervals -------------------------------
-        for w in range(len(line.word_last_read)):
+        # All words belong to the same thread, so the per-word ACE lengths are
+        # summed locally and folded into the ledger with one add per bucket;
+        # integer partial sums make the result bit-identical to per-word adds.
+        ace_total = 0
+        num_words = len(line.word_last_read)
+        for w in range(num_words):
             last_read = line.word_last_read[w]
             last_write = line.word_last_write[w]
             read_start = fill
@@ -71,9 +76,9 @@ class Dl1AvfObserver:
             # Dirty words must survive until the writeback at eviction.
             dirty_ace = (max(last_write, fill), cycle) if line.word_dirty[w] else (0, 0)
             ace = _union_length(*read_ace, *dirty_ace)
-            ace = min(ace, residency)
-            self._data.add(thread, ace, ace=True)
-            self._data.add(thread, residency - ace, ace=False)
+            ace_total += min(ace, residency)
+        self._data.add(thread, ace_total, ace=True)
+        self._data.add(thread, residency * num_words - ace_total, ace=False)
 
         # --- tag array ----------------------------------------------------------
         if line.dirty:

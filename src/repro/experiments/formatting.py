@@ -24,6 +24,8 @@ def render_table(title: str, header: Sequence[str],
 
 def _fmt(cell: object) -> str:
     if isinstance(cell, float):
+        if cell != cell:  # NaN: a dead design point (0 IPC / 0 AVF)
+            return "n/a"
         if cell == float("inf"):
             return "inf"
         return f"{cell:.4f}" if abs(cell) < 100 else f"{cell:.1f}"

@@ -46,19 +46,36 @@ def reliability_efficiency(ipc_value: float, avf: float) -> float:
 
     An AVF of zero means no ACE bits were ever exposed; the efficiency is
     unbounded and we return ``inf`` so callers can surface it explicitly.
+    A dead design point — zero IPC *and* zero AVF — did no work and
+    exposed nothing, so its efficiency is the indeterminate 0/0: ``nan``,
+    rendered as ``n/a`` in reports, never the flattering ``inf``.
     """
     if avf <= _EPSILON:
+        if ipc_value <= _EPSILON:
+            return float("nan")
         return float("inf")
     return ipc_value / avf
 
 
 def mitf_relative(ipc_value: float, avf: float, baseline_ipc: float,
                   baseline_avf: float) -> float:
-    """MITF of a design point relative to a baseline (ratio of IPC/AVF)."""
+    """MITF of a design point relative to a baseline (ratio of IPC/AVF).
+
+    When both design points have zero AVF, both efficiencies are infinite
+    but the points are not equivalent: MITF is proportional to IPC/AVF, so
+    in the limit of equal (vanishing) AVF the ratio is the IPC ratio.
+    Comparisons involving a dead point (0 IPC, 0 AVF) are indeterminate
+    and return ``nan``.
+    """
     base = reliability_efficiency(baseline_ipc, baseline_avf)
     this = reliability_efficiency(ipc_value, avf)
+    if math.isnan(base) or math.isnan(this):
+        return float("nan")
     if base == float("inf"):
-        return 1.0 if this == float("inf") else 0.0
+        if this == float("inf"):
+            # Both zero-AVF: distinguish the points by the work they did.
+            return ipc_value / baseline_ipc
+        return 0.0
     if this == float("inf"):
         return float("inf")
     return this / base

@@ -176,7 +176,19 @@ class SMTCore:
 
     @property
     def measured_cycles(self) -> int:
-        return max(self.cycle - self.measure_start_cycle, 1)
+        measured = self.cycle - self.measure_start_cycle
+        if measured <= 0:
+            # A run that ends inside (or exactly at the end of) its timing
+            # warmup has no measurement window; clamping to one fake cycle
+            # here used to mis-report IPC and AVF silently.
+            raise SimulationError(
+                f"empty measurement window: the run ended at cycle "
+                f"{self.cycle} but measurement started at cycle "
+                f"{self.measure_start_cycle} (warmup_instructions="
+                f"{self.sim.warmup_instructions} of max_instructions="
+                f"{self.sim.max_instructions}); lower the warmup or raise "
+                f"the budget")
+        return measured
 
     def committed_in_window(self, tid: int) -> int:
         return self.threads[tid].committed - self._committed_at_measure_start[tid]

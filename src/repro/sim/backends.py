@@ -1,0 +1,66 @@
+"""Cycle-kernel backend selection.
+
+Two kernels implement the simulator's cycle loop behind the
+:class:`~repro.sim.session.SimSession` facade:
+
+``python``
+    :class:`repro.pipeline.core.SMTCore` — the reference pure-Python
+    kernel, one method call per pipeline event.
+``vector``
+    :class:`repro.sim.vector.VectorCore` — the numpy-accelerated kernel
+    (flat per-structure ledgers, batched residency accrual, precomputed
+    operation tables).  Byte-identical results; see
+    ``docs/simulator-internals.md``.
+
+The backend is *not* part of :class:`~repro.config.SimConfig`: a backend
+changes how fast a result is computed, never what the result is, so cache
+digests and golden payloads must not depend on it.  Selection is an
+explicit ``backend=`` argument, or — matching ``REPRO_SCALE`` /
+``REPRO_CHECK_INVARIANTS`` — the ``REPRO_BACKEND`` environment variable,
+which is how the CLI's ``--backend`` flag reaches ``--jobs`` worker
+processes.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Type
+
+from repro.errors import ReproError
+from repro.pipeline.core import SMTCore
+
+#: Environment variable carrying the backend choice to worker processes.
+BACKEND_ENV_VAR = "REPRO_BACKEND"
+
+#: Recognised backend names, default first.
+BACKEND_NAMES = ("python", "vector")
+
+
+def resolve_backend(backend: Optional[str] = None) -> str:
+    """Validate an explicit choice, or read ``REPRO_BACKEND`` (default
+    ``python``)."""
+    if backend is None:
+        backend = os.environ.get(BACKEND_ENV_VAR) or BACKEND_NAMES[0]
+    name = backend.strip().lower()
+    if name not in BACKEND_NAMES:
+        raise ReproError(
+            f"unknown simulation backend {backend!r}; "
+            f"known: {', '.join(BACKEND_NAMES)}")
+    return name
+
+
+def core_class(backend: Optional[str] = None) -> Type[SMTCore]:
+    """The core class implementing ``backend`` (resolved via
+    :func:`resolve_backend`)."""
+    if resolve_backend(backend) == "vector":
+        from repro.sim.vector import VectorCore
+
+        return VectorCore
+    return SMTCore
+
+
+def apply_backend_env(backend: Optional[str]) -> None:
+    """Export a CLI ``--backend`` choice so every simulation — including
+    those fanned out to worker processes — picks it up."""
+    if backend:
+        os.environ[BACKEND_ENV_VAR] = resolve_backend(backend)

@@ -1,0 +1,14 @@
+"""Numpy-accelerated cycle-kernel backend (``--backend vector``).
+
+The package provides :class:`VectorCore`, a drop-in replacement for
+:class:`repro.pipeline.core.SMTCore` selected through
+:mod:`repro.sim.backends`.  It produces byte-identical results to the
+reference Python kernel; see ``docs/simulator-internals.md`` for the
+backend seam and what is (and is not) vectorized.
+"""
+
+from repro.sim.vector.core import VectorCore
+from repro.sim.vector.ledger import BatchResidencyProbe
+from repro.sim.vector.tables import op_meta_table
+
+__all__ = ["VectorCore", "BatchResidencyProbe", "op_meta_table"]

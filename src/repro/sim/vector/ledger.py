@@ -1,0 +1,208 @@
+"""Batched residency accrual for the vector kernel.
+
+The Python kernel's structures call the :class:`AvfEngine` once per closed
+residency interval — a method call, two dict probes and a float add for
+every IQ/ROB/LSQ deallocation and every register lifetime, plus one call
+per busy functional unit per cycle.  The vector kernel instead buffers
+events in flat lists and reduces them with ``numpy`` at the end of the run
+(and once at the warmup reset).
+
+The reduction is *exactly* equal to the per-event path, not just close:
+
+* Occupancy events carry integer cycle stamps, so each duration is an
+  exact float64 integer.  ``np.bincount`` sums float64 weights
+  sequentially in C; partial sums stay integer-valued far below 2**53,
+  so every partial — and the final per-(thread, ace) total folded into
+  the account — is exact, independent of event order.
+* Functional-unit busy cycles are counted in plain ints and folded in
+  with one ``account.add`` per (thread, ace) bucket, reproducing the
+  per-cycle path's ``has_direct_adds`` marking.
+* Register lifetimes are reduced with the same three-segment split as
+  :func:`repro.instrument.recorder.reg_lifetime_segments`, vectorized:
+  every segment duration is an exact integer clip, so the per-thread
+  sums match a verbatim replay bit for bit.
+
+Window clipping uses each account's ``window_start`` at flush time, which
+matches the live path because the kernel flushes (and discards) the buffer
+at the measurement-window reset: every event still buffered at final flush
+closed after the reset, and only intervals *straddling* the reset need the
+clip — exactly what ``np.maximum(starts, window_start)`` applies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.avf.engine import AvfEngine
+from repro.errors import StructureError
+from repro.instrument.structures import Structure
+
+
+class BatchResidencyProbe:
+    """A :class:`ResidencyProbe` that buffers events for one numpy flush."""
+
+    __slots__ = ("engine", "occupancy", "reg_events", "fu_ace", "fu_unace")
+
+    def __init__(self, engine: AvfEngine, num_threads: int) -> None:
+        self.engine = engine
+        self.occupancy: Dict[Structure, List[Tuple[int, int, int, bool]]] = {}
+        self.reg_events: List[Tuple[int, int, int, int, int, bool]] = []
+        self.fu_ace = [0] * num_threads
+        self.fu_unace = [0] * num_threads
+
+    # -- ResidencyProbe protocol -----------------------------------------------
+
+    def occupy(self, structure: Structure, thread_id: int, start: int,
+               end: int, ace: bool) -> None:
+        buf = self.occupancy.get(structure)
+        if buf is None:
+            buf = self.occupancy[structure] = []
+        buf.append((thread_id, start, end, ace))
+
+    def fu_busy_cycle(self, thread_id: int, ace: bool, cycle: int = -1) -> None:
+        if ace:
+            self.fu_ace[thread_id] += 1
+        else:
+            self.fu_unace[thread_id] += 1
+
+    def reg_lifetime(self, thread_id: int, alloc: int, written: int,
+                     last_read: int, freed: int, ace: bool) -> None:
+        self.reg_events.append((thread_id, alloc, written, last_read, freed, ace))
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def clear(self) -> None:
+        """Drop buffered events (measurement-window reset).
+
+        Clears buffers and counters *in place* — the kernel holds direct
+        references to these lists across the reset.
+        """
+        for buf in self.occupancy.values():
+            buf.clear()
+        self.reg_events.clear()
+        for counters in (self.fu_ace, self.fu_unace):
+            for tid in range(len(counters)):
+                counters[tid] = 0
+
+    def flush(self) -> None:
+        """Reduce every buffered event into the engine's accounts."""
+        engine = self.engine
+        for structure, events in self.occupancy.items():
+            if events:
+                self._flush_structure(structure, events)
+                events.clear()
+
+        fu_account = engine.account(Structure.FU)
+        for counters, ace in ((self.fu_ace, True), (self.fu_unace, False)):
+            for tid, busy in enumerate(counters):
+                if busy:
+                    fu_account.add(tid, float(busy), ace)
+                    counters[tid] = 0
+
+        if self.reg_events:
+            self._flush_registers()
+            self.reg_events.clear()
+
+    # -- reduction --------------------------------------------------------------
+
+    def _flush_structure(self, structure: Structure, events) -> None:
+        engine = self.engine
+        arr = np.asarray(events, dtype=np.int64)
+        tids = arr[:, 0]
+        starts = arr[:, 1]
+        ends = arr[:, 2]
+        aces = arr[:, 3]
+        shared = engine._shared.get(structure)
+        if shared is not None:
+            self._accrue_bulk(shared, tids, starts, ends, aces)
+            return
+        accounts = engine._private[structure]
+        bad = ends < starts
+        if bad.any():
+            i = int(np.argmax(bad))
+            raise StructureError(
+                f"{accounts[int(tids[i])].name}: reversed residency interval "
+                f"[{int(starts[i])}, {int(ends[i])}) for thread {int(tids[i])}")
+        # Private accounts reset in lockstep (engine.reset walks them all),
+        # so one combined bincount can feed every per-thread ledger; fall
+        # back to per-account reduction if the windows ever diverge.
+        window = accounts[0].window_start
+        if any(acc.window_start != window for acc in accounts.values()):
+            for tid, account in accounts.items():
+                mask = tids == tid
+                if mask.any():
+                    self._accrue_bulk(account, tids[mask], starts[mask],
+                                      ends[mask], aces[mask])
+            return
+        durations = np.maximum(
+            ends - np.maximum(starts, window), 0).astype(np.float64)
+        sums = np.bincount(tids * 2 + aces, weights=durations)
+        for key in np.nonzero(sums)[0]:
+            tid, ace = divmod(int(key), 2)
+            accounts[tid]._accrue(tid, float(sums[key]), bool(ace))
+
+    def _flush_registers(self) -> None:
+        """Reduce buffered register lifetimes into the REG ledger.
+
+        Mirrors :func:`repro.instrument.recorder.reg_lifetime_segments`
+        element-wise: ``[alloc, written)`` un-ACE, ``[written, last_read)``
+        ACE when the value had ACE consumers, the remainder until ``freed``
+        un-ACE; a register squashed before writing (``written < 0``) is
+        un-ACE throughout.
+        """
+        account = self.engine._shared[Structure.REG]
+        arr = np.asarray(self.reg_events, dtype=np.int64)
+        tids = arr[:, 0]
+        alloc = arr[:, 1]
+        written = arr[:, 2]
+        last_read = arr[:, 3]
+        freed = arr[:, 4]
+        aces = arr[:, 5]
+        squashed = written < 0
+        has_ace = (aces != 0) & (last_read > written) & ~squashed
+        w_clip = np.minimum(written, freed)
+        ace_end = np.minimum(last_read, freed)
+        # First un-ACE segment ends at freed for squashed registers (their
+        # whole lifetime), else at the (clipped) write cycle; the trailing
+        # un-ACE segment starts where the ACE segment ends (or at the write
+        # for never-read values) and is empty for squashed registers.
+        u1_end = np.where(squashed, freed, w_clip)
+        u2_start = np.where(squashed, freed, np.where(has_ace, ace_end, w_clip))
+        if (u1_end < alloc).any() or (has_ace & (ace_end < written)).any() \
+                or (freed < u2_start).any():
+            # Degenerate lifetime: replay per event so the error carries
+            # the exact offending segment.
+            for event in self.reg_events:
+                self.engine.reg_lifetime(*event)
+            return
+        window = account.window_start
+        unace = (np.maximum(u1_end - np.maximum(alloc, window), 0)
+                 + np.maximum(freed - np.maximum(u2_start, window), 0))
+        ace = np.where(
+            has_ace, np.maximum(ace_end - np.maximum(written, window), 0), 0)
+        unace_sums = np.bincount(tids, weights=unace.astype(np.float64))
+        ace_sums = np.bincount(tids, weights=ace.astype(np.float64))
+        for tid in np.nonzero(unace_sums)[0]:
+            account._accrue(int(tid), float(unace_sums[tid]), False)
+        for tid in np.nonzero(ace_sums)[0]:
+            account._accrue(int(tid), float(ace_sums[tid]), True)
+
+    @staticmethod
+    def _accrue_bulk(account, tids, starts, ends, aces) -> None:
+        bad = ends < starts
+        if bad.any():
+            i = int(np.argmax(bad))
+            raise StructureError(
+                f"{account.name}: reversed residency interval "
+                f"[{int(starts[i])}, {int(ends[i])}) for thread {int(tids[i])}")
+        durations = np.maximum(
+            ends - np.maximum(starts, account.window_start),
+            0).astype(np.float64)
+        # One bucket per (thread, ace); thread ids here are always >= 0
+        # (occupancy events carry a real context id by construction).
+        sums = np.bincount(tids * 2 + aces, weights=durations)
+        for key in np.nonzero(sums)[0]:
+            tid, ace = divmod(int(key), 2)
+            account._accrue(tid, float(sums[key]), bool(ace))

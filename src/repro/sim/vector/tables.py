@@ -1,0 +1,92 @@
+"""Precomputed per-operation metadata for the vector kernel.
+
+The Python kernel re-derives everything from the :class:`OpClass` enum on
+every touch (``execution_latency`` even rebuilds its latency table per
+call).  The vector kernel instead packs all static per-instruction facts
+into one small integer, stored in the otherwise-unused ``DynInstr.iq_slot``
+field, so the hot loop runs on bit tests instead of enum hashing and
+property dispatch:
+
+====== ==========================================================
+bits   meaning
+====== ==========================================================
+0      LOAD
+1      STORE
+2      memory operation (load/store/prefetch)
+3      control operation (branch/jump/call/ret)
+4      load-like (load/prefetch — issues through the data cache)
+5      NOP (bypasses the issue queue)
+6      statically ACE (``ace.is_ace and not wrong_path``)
+7-9    functional-unit pool index (``FUType.value - 1``)
+10+    execution latency under the active :class:`MachineConfig`
+====== ==========================================================
+
+Bit 6 is the only per-*instruction* bit; the rest depend only on the
+operation class and the machine config, so they are built once per run
+by :func:`op_meta_table`.  Dynamic ACE-ness is ``(meta & ACE_BIT) and not
+instr.squashed`` — exactly ``DynInstr.is_ace``, since the static bit
+already folds in ``wrong_path``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.isa.instruction import AceClass, DynInstr
+from repro.isa.opcodes import (
+    OpClass,
+    execution_latency,
+    fu_type_for,
+    is_control_op,
+    is_memory_op,
+)
+
+LOAD_BIT = 1 << 0
+STORE_BIT = 1 << 1
+MEM_BIT = 1 << 2
+CTRL_BIT = 1 << 3
+LOADLIKE_BIT = 1 << 4
+NOP_BIT = 1 << 5
+ACE_BIT = 1 << 6
+FU_SHIFT = 7
+FU_MASK = 0x7
+LAT_SHIFT = 10
+
+
+def op_meta_table(config) -> List[int]:
+    """Packed metadata per operation class, indexed by ``OpClass.value``."""
+    table = [0] * (max(op.value for op in OpClass) + 1)
+    for op in OpClass:
+        meta = 0
+        if op is OpClass.LOAD:
+            meta |= LOAD_BIT
+        if op is OpClass.STORE:
+            meta |= STORE_BIT
+        if is_memory_op(op):
+            meta |= MEM_BIT
+        if is_control_op(op):
+            meta |= CTRL_BIT
+        if op is OpClass.LOAD or op is OpClass.PREFETCH:
+            meta |= LOADLIKE_BIT
+        if op is OpClass.NOP:
+            meta |= NOP_BIT
+        meta |= (fu_type_for(op).value - 1) << FU_SHIFT
+        meta |= execution_latency(op, config) << LAT_SHIFT
+        table[op.value] = meta
+    return table
+
+
+def annotate_trace(instrs: Sequence[DynInstr], table: Sequence[int]) -> None:
+    """Stamp packed metadata into ``iq_slot`` for every trace instruction.
+
+    Idempotent — traces shared across sessions (campaigns reuse one trace
+    for hundreds of runs) may be annotated repeatedly.  The pipeline's
+    ``_reset_pipeline_state`` deliberately leaves ``iq_slot`` alone, so the
+    stamp survives squash-and-refetch.
+    """
+    ace = AceClass.ACE
+    for instr in instrs:
+        meta = table[instr.op.value]
+        if instr.ace is ace and not instr.wrong_path:
+            meta |= ACE_BIT
+        instr.iq_slot = meta

@@ -53,6 +53,23 @@ class TestTinyRuns:
                                                    max_cycles=10))
 
 
+class TestEmptyMeasurementWindow:
+    def test_warmup_consuming_whole_budget_raises(self):
+        # warmup == budget: the run ends the moment the timing warmup does,
+        # leaving a zero-cycle measurement window.  This used to clamp to
+        # one fake cycle and silently mis-report IPC and AVF.
+        with pytest.raises(SimulationError, match="empty measurement window"):
+            simulate(["gcc"], sim=SimConfig(max_instructions=400,
+                                            warmup_instructions=400, seed=1))
+
+    def test_error_names_the_warmup_and_budget(self):
+        with pytest.raises(SimulationError,
+                           match="warmup_instructions=400 of "
+                                 "max_instructions=400"):
+            simulate(["gcc"], sim=SimConfig(max_instructions=400,
+                                            warmup_instructions=400, seed=1))
+
+
 def get_mix_like():
     from repro.workload.mixes import get_mix
 

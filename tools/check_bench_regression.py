@@ -1,17 +1,25 @@
 #!/usr/bin/env python
 """Fail when a kernel benchmark run regresses against the committed baseline.
 
-Compares two pytest-benchmark JSON files benchmark-by-benchmark on their
+Compares pytest-benchmark JSON files benchmark-by-benchmark on their
 *minimum* observed time (minimums are far more robust than means on noisy
 shared runners) and exits non-zero when any benchmark is more than
 ``--threshold`` slower than the baseline.
 
 Because the baseline was recorded on a different machine than CI runs on,
 ``--control`` may name a benchmark whose code never changes run-to-run
-(here: trace generation, which exercises no simulator code).  Every ratio
-is then divided by the control's ratio, cancelling out the raw speed
-difference between the two machines so the check measures the kernel, not
-the hardware.
+(here: trace generation, which exercises no simulator code).  Each
+candidate *file* is normalised by its own control measurement — control
+and kernel numbers from the same run share the same machine conditions,
+which is the pairing that makes the normalisation valid — and with several
+candidate files the per-benchmark best *normalised* time is kept, which
+rejects one-off scheduler spikes without ever mixing measurements across
+runs.
+
+``--max-ratio CANDIDATE/BASELINE=LIMIT`` additionally gates a candidate
+benchmark against a *different* baseline benchmark: the vector-backend
+kernel benchmark must stay at or below ``LIMIT`` times the committed
+Python-backend baseline (ROADMAP item 1's speedup floor).
 """
 
 from __future__ import annotations
@@ -19,50 +27,94 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from typing import Dict, List, Optional, Sequence, Tuple
 
 
-def load_mins(path: str) -> dict:
+def load_mins(path: str) -> Dict[str, float]:
     with open(path) as fh:
         data = json.load(fh)
     return {b["name"]: b["stats"]["min"] for b in data["benchmarks"]}
 
 
-def main() -> int:
+def parse_max_ratio(spec: str) -> Tuple[str, str, float]:
+    """Parse ``CANDIDATE/BASELINE=LIMIT`` into its three parts."""
+    names, sep, limit = spec.rpartition("=")
+    if not sep or "/" not in names:
+        raise argparse.ArgumentTypeError(
+            f"expected CANDIDATE/BASELINE=LIMIT, got {spec!r}")
+    cand_name, base_name = names.split("/", 1)
+    try:
+        value = float(limit)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"ratio limit {limit!r} is not a number") from None
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"ratio limit must be positive")
+    return cand_name, base_name, value
+
+
+def normalised_minimums(base: Dict[str, float],
+                        candidate_paths: Sequence[str],
+                        control: Optional[str]) -> Dict[str, float]:
+    """Best per-benchmark candidate time, each file normalised by its own
+    control measurement before the cross-file minimum is taken."""
+    best: Dict[str, float] = {}
+    for path in candidate_paths:
+        mins = load_mins(path)
+        scale = 1.0
+        if control:
+            if control not in base:
+                raise SystemExit(
+                    f"control benchmark {control!r} missing from baseline")
+            if control not in mins:
+                raise SystemExit(
+                    f"control benchmark {control!r} missing from {path}")
+            scale = mins[control] / base[control]
+            print(f"machine-speed control {control} [{path}]: x{scale:.3f}")
+        for name, value in mins.items():
+            adjusted = value / scale
+            if name not in best or adjusted < best[name]:
+                best[name] = adjusted
+    return best
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline", help="committed baseline JSON")
     parser.add_argument("candidate", nargs="+",
                         help="fresh benchmark JSON(s); with several files "
-                             "the per-benchmark best is compared, which "
-                             "rejects one-off scheduler spikes")
+                             "the per-benchmark best normalised time is "
+                             "compared, which rejects one-off scheduler "
+                             "spikes")
     parser.add_argument("--threshold", type=float, default=0.15,
                         help="allowed fractional slowdown (default 0.15)")
     parser.add_argument("--control", default=None,
                         help="benchmark name used to normalise out "
-                             "machine-speed differences")
-    args = parser.parse_args()
+                             "machine-speed differences (applied per "
+                             "candidate file)")
+    parser.add_argument("--max-ratio", type=parse_max_ratio, action="append",
+                        default=[], metavar="CAND/BASE=LIMIT",
+                        help="require candidate benchmark CAND to be at "
+                             "most LIMIT times baseline benchmark BASE "
+                             "(normalised); repeatable")
+    args = parser.parse_args(argv)
 
     base = load_mins(args.baseline)
-    cand: dict = {}
-    for path in args.candidate:
-        for name, value in load_mins(path).items():
-            cand[name] = min(cand.get(name, float("inf")), value)
+    cand = normalised_minimums(base, args.candidate, args.control)
 
-    scale = 1.0
-    if args.control:
-        if args.control not in base or args.control not in cand:
-            print(f"control benchmark {args.control!r} missing from "
-                  "baseline or candidate", file=sys.stderr)
-            return 2
-        scale = cand[args.control] / base[args.control]
-        print(f"machine-speed control {args.control}: x{scale:.3f}")
-
-    failures = []
+    failures: List[str] = []
     missing = sorted(set(base) - set(cand))
     if missing:
         failures.append(f"benchmarks missing from candidate: {missing}")
+    extra = sorted(set(cand) - set(base))
+    if extra:
+        # Not a failure — a new benchmark has no baseline yet — but never
+        # silently drop it: an unbaselined benchmark is unguarded.
+        print(f"note: benchmarks present in candidate but not in baseline "
+              f"(unguarded): {extra}")
 
     for name in sorted(set(base) & set(cand)):
-        ratio = (cand[name] / base[name]) / scale
+        ratio = cand[name] / base[name]
         status = "ok"
         if ratio > 1.0 + args.threshold:
             status = "REGRESSION"
@@ -71,6 +123,22 @@ def main() -> int:
         print(f"{name}: base {base[name] * 1000:.1f}ms  "
               f"cand {cand[name] * 1000:.1f}ms  "
               f"normalised {ratio:.3f}x  {status}")
+
+    for cand_name, base_name, limit in args.max_ratio:
+        if cand_name not in cand:
+            failures.append(f"--max-ratio: {cand_name!r} missing from candidate")
+            continue
+        if base_name not in base:
+            failures.append(f"--max-ratio: {base_name!r} missing from baseline")
+            continue
+        ratio = cand[cand_name] / base[base_name]
+        status = "ok"
+        if ratio > limit:
+            status = "TOO SLOW"
+            failures.append(f"{cand_name}: {ratio:.3f}x of baseline "
+                            f"{base_name} (> {limit:.2f}x allowed)")
+        print(f"{cand_name} vs {base_name}: {ratio:.3f}x "
+              f"(limit {limit:.2f}x)  {status}")
 
     if failures:
         print("\nFAIL:", file=sys.stderr)
