@@ -3,7 +3,8 @@
 PYTHON ?= python
 
 .PHONY: install test test-chaos bench bench-kernel bench-kernel-check \
-	reproduce reproduce-smoke inject-smoke examples clean
+	reproduce reproduce-smoke inject-smoke serve-smoke test-service \
+	examples clean
 
 SMOKE_DIR ?= .smoke
 
@@ -81,6 +82,18 @@ inject-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.cli inject gcc mcf --live \
 		--strikes 6 --structures iq rob \
 		--force hang --force crash --force due --seed 11
+
+# Campaign-service smoke test: boots the real server on an ephemeral
+# port, submits the same spec from two concurrent clients, and asserts
+# exactly one computation ran and both clients read byte-identical
+# result artifacts.
+serve-smoke:
+	PYTHONPATH=src $(PYTHON) tools/serve_smoke.py
+
+# The service contract suite: golden response schemas, concurrency
+# dedup, chaos isolation between campaigns.
+test-service:
+	PYTHONPATH=src $(PYTHON) -m pytest -x -q tests/test_service_contract.py
 
 examples:
 	for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f || exit 1; done

@@ -419,6 +419,133 @@ def _add_resilience_options(parser: argparse.ArgumentParser) -> None:
                           "(failures.json) to this path")
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import run_service
+
+    def ready(port: int) -> None:
+        print(f"campaign service listening on http://{args.host}:{port} "
+              f"(store: {args.store}, {args.workers} workers/campaign)",
+              flush=True)
+
+    run_service(args.store, host=args.host, port=args.port,
+                workers=args.workers, ready=ready)
+    return 0
+
+
+def _read_spec_source(source: str) -> dict:
+    import json
+
+    if source == "-":
+        raw = sys.stdin.read()
+    else:
+        try:
+            with open(source, "r", encoding="utf-8") as handle:
+                raw = handle.read()
+        except OSError as exc:
+            raise ReproError(f"cannot read spec file {source}: {exc}")
+    try:
+        payload = json.loads(raw)
+    except ValueError as exc:
+        raise ReproError(f"spec is not valid JSON: {exc}")
+    return payload
+
+
+def _service_request(base: str, method: str, path: str, body=None,
+                     timeout: float = 150.0):
+    """One request against the campaign service; returns (status, payload)."""
+    import http.client
+    import json
+    from urllib.parse import urlsplit
+
+    url = urlsplit(base if "//" in base else f"http://{base}")
+    if url.scheme not in ("", "http"):
+        raise ReproError(f"unsupported server scheme: {url.scheme}")
+    conn = http.client.HTTPConnection(url.hostname or "127.0.0.1",
+                                      url.port or 8642, timeout=timeout)
+    try:
+        data = json.dumps(body).encode("utf-8") if body is not None else None
+        try:
+            conn.request(method, path, body=data,
+                         headers={"Content-Type": "application/json"})
+            response = conn.getresponse()
+            raw = response.read()
+        except OSError as exc:
+            raise ReproError(f"cannot reach campaign service at {base}: "
+                             f"{exc}")
+        try:
+            payload = json.loads(raw)
+        except ValueError:
+            payload = {"error": raw.decode("utf-8", "replace")}
+        return response.status, payload, raw
+    finally:
+        conn.close()
+
+
+def _print_progress(status: dict) -> None:
+    batches = status.get("batches", {})
+    line = (f"  state={status['state']} "
+            f"batches={batches.get('done', 0)}/{batches.get('total', 0)}")
+    print(line)
+    for entry in status.get("progress", []):
+        print(f"    {entry['structure']:<8} strikes={entry['strikes']:<5} "
+              f"sdc_rate={entry['sdc_rate']:.3f} "
+              f"CI=[{entry['wilson_low']:.3f}, {entry['wilson_high']:.3f}]")
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    spec = _read_spec_source(args.spec)
+    status_code, status, _ = _service_request(args.server, "POST",
+                                              "/campaigns", body=spec)
+    if status_code not in (200, 201):
+        raise ReproError(f"submission rejected ({status_code}): "
+                         f"{status.get('error', status)}")
+    cid = status["id"]
+    print(f"campaign {cid} "
+          f"({'deduplicated' if status.get('deduplicated') else 'submitted'}, "
+          f"state: {status['state']})")
+
+    while status["state"] not in ("done", "degraded", "failed"):
+        _print_progress(status)
+        version = status["version"]
+        status_code, status, _ = _service_request(
+            args.server, "GET",
+            f"/campaigns/{cid}?wait={args.wait}&version={version}")
+        if status_code != 200:
+            raise ReproError(f"status poll failed ({status_code}): "
+                             f"{status.get('error', status)}")
+    _print_progress(status)
+
+    if status["state"] == "failed":
+        print(f"error: campaign failed: {status.get('error')}",
+              file=sys.stderr)
+        for failure in status.get("failures", []):
+            print(f"  failed job: {failure.get('label')} "
+                  f"({', '.join(failure.get('kinds', []))})",
+                  file=sys.stderr)
+        return 2
+    if status["state"] == "degraded":
+        failures = status.get("failures", [])
+        print(f"degraded: {len(failures)} job(s) failed permanently "
+              f"after retries", file=sys.stderr)
+        for failure in failures:
+            print(f"  failed job: {failure.get('label')} "
+                  f"({', '.join(failure.get('kinds', []))})",
+                  file=sys.stderr)
+        return 3
+
+    status_code, _, raw = _service_request(args.server, "GET",
+                                           f"/campaigns/{cid}/result")
+    if status_code != 200:
+        raise ReproError(f"result fetch failed ({status_code})")
+    if args.out:
+        with open(args.out, "wb") as handle:
+            handle.write(raw)
+        print(f"result ({len(raw)} bytes) -> {args.out}")
+    else:
+        sys.stdout.write(raw.decode("utf-8"))
+    return 0
+
+
 def _add_backend_option(parser: argparse.ArgumentParser) -> None:
     """The cycle-kernel selector: ``--backend {python,vector}``.
 
@@ -526,6 +653,30 @@ def build_parser() -> argparse.ArgumentParser:
     _add_invariant_option(repro)
     _add_backend_option(repro)
 
+    serve = sub.add_parser("serve",
+                           help="run the asyncio campaign service")
+    serve.add_argument("--store", default=".repro-service", metavar="DIR",
+                       help="artifact store root (shared cache, final "
+                            "artifacts, campaign manifests)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=_non_negative_int, default=8642,
+                       help="TCP port (0 picks an ephemeral port)")
+    serve.add_argument("--workers", type=_positive_int, default=2,
+                       help="worker processes per campaign pool")
+
+    submit = sub.add_parser("submit",
+                            help="submit a campaign spec to a running "
+                                 "service and stream its status")
+    submit.add_argument("spec",
+                        help="path to a JSON campaign spec ('-' for stdin)")
+    submit.add_argument("--server", default="http://127.0.0.1:8642",
+                        help="service base URL")
+    submit.add_argument("--wait", type=_positive_int, default=60,
+                        help="long-poll seconds per status request")
+    submit.add_argument("--out", default=None, metavar="PATH",
+                        help="write the result artifact here instead of "
+                             "stdout")
+
     fit = sub.add_parser("fit", help="FIT/MTTF estimate for a workload")
     fit.add_argument("workload", nargs="+")
     fit.add_argument("--policy", default="ICOUNT")
@@ -544,6 +695,8 @@ _COMMANDS = {
     "fit": _cmd_fit,
     "rmt": _cmd_rmt,
     "reproduce": _cmd_reproduce,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
 }
 
 

@@ -53,6 +53,7 @@ from repro.faultinject.live import (
     draw_strike,
     golden_run,
     machine_capacity,
+    plan_live_batches,
     run_live_campaign,
     run_one_strike,
 )
@@ -64,4 +65,4 @@ __all__ = ["CampaignJob", "ClassifyTask", "InjectionOutcome",
            "FORCED_KINDS", "GoldenRun", "LiveBatchJob", "LiveCampaignResult",
            "LiveConfig", "LiveStrikeRecord", "StrikeInjector", "StrikeSpec",
            "draw_strike", "golden_run", "machine_capacity",
-           "run_live_campaign", "run_one_strike"]
+           "plan_live_batches", "run_live_campaign", "run_one_strike"]

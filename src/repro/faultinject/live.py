@@ -581,6 +581,49 @@ def _batched(indices: Sequence[int], batch: int) -> List[Tuple[int, ...]]:
             for i in range(0, len(indices), batch)]
 
 
+def plan_live_batches(workload: Union[WorkloadMix, Sequence[str]],
+                      injections: int = 24,
+                      structures: Sequence[Structure] = INJECTABLE,
+                      policy: str = "ICOUNT",
+                      config: Optional[MachineConfig] = None,
+                      sim: Optional[SimConfig] = None,
+                      seed: int = 42,
+                      protection: ProtectionScheme = ProtectionScheme.NONE,
+                      live: Optional[LiveConfig] = None,
+                      ) -> List[LiveBatchJob]:
+    """Shard a live campaign into supervised :class:`LiveBatchJob` units.
+
+    This is the batch-submission API: validation, normalization and
+    batching with *no* execution, so a caller that schedules work itself
+    (the campaign service) can plan a campaign, count its batches, and
+    feed the jobs to its own supervisor.  :func:`run_live_campaign` plans
+    through here, so both paths shard identically — same digests, same
+    per-batch cache entries.
+    """
+    config = config or DEFAULT_CONFIG
+    base_sim = sim or SimConfig(max_instructions=600)
+    live = live or LiveConfig()
+    policy_name = policy if isinstance(policy, str) else policy.name
+    unsupported = [s for s in structures if s not in INJECTABLE]
+    if unsupported:
+        raise ReproError(f"cannot inject into {unsupported}; "
+                         f"supported: {list(INJECTABLE)}")
+    if injections < 0:
+        raise ReproError("injections must be >= 0")
+    name = (workload.name if isinstance(workload, WorkloadMix)
+            else "+".join(workload))
+    programs = tuple(workload.programs if isinstance(workload, WorkloadMix)
+                     else workload)
+    return [
+        LiveBatchJob(workload_name=name, programs=programs,
+                     policy=policy_name, config=config, sim=base_sim,
+                     seed=seed, protection=protection, live=live,
+                     structure=structure, indices=batch)
+        for structure in structures
+        for batch in _batched(range(injections), live.strike_batch)
+    ]
+
+
 def run_live_campaign(workload: Union[WorkloadMix, Sequence[str]],
                       injections: int = 24,
                       structures: Sequence[Structure] = INJECTABLE,
@@ -594,6 +637,7 @@ def run_live_campaign(workload: Union[WorkloadMix, Sequence[str]],
                       jobs: int = 1,
                       supervisor=None,
                       cache_dir: Optional[Union[str, Path]] = None,
+                      on_batch=None,
                       ) -> LiveCampaignResult:
     """Run a live injection campaign over ``structures``.
 
@@ -603,7 +647,10 @@ def run_live_campaign(workload: Union[WorkloadMix, Sequence[str]],
     ``jobs > 1`` or an explicit ``supervisor``, strike batches execute on
     the supervised worker pool (timeouts, retries, resume via the
     supervisor's journal); results are identical either way.  ``cache_dir``
-    persists each batch as ``live-<digest>.json``.
+    persists each batch as ``live-<digest>.json``.  ``on_batch(job,
+    payload)`` fires as each batch lands (including batches answered by
+    the cache) — the campaign service streams partial Wilson intervals
+    from it.
     """
     config = config or DEFAULT_CONFIG
     base_sim = sim or SimConfig(max_instructions=600)
@@ -628,14 +675,10 @@ def run_live_campaign(workload: Union[WorkloadMix, Sequence[str]],
                      else workload)
     golden = golden_run(workload, policy_name, config, base_sim)
 
-    jobs_list = [
-        LiveBatchJob(workload_name=name, programs=programs,
-                     policy=policy_name, config=config, sim=base_sim,
-                     seed=seed, protection=protection, live=live,
-                     structure=structure, indices=batch)
-        for structure in structures
-        for batch in _batched(range(injections), live.strike_batch)
-    ]
+    jobs_list = plan_live_batches(workload, injections=injections,
+                                  structures=structures, policy=policy_name,
+                                  config=config, sim=base_sim, seed=seed,
+                                  protection=protection, live=live)
 
     cache_root: Optional[Path] = None
     if cache_dir is not None:
@@ -685,6 +728,8 @@ def run_live_campaign(workload: Union[WorkloadMix, Sequence[str]],
             record = LiveStrikeRecord.from_payload(entry)
             by_key[(order[record.structure], record.index)] = record
         store_cached(job, payload)
+        if on_batch is not None:
+            on_batch(job, payload)
 
     def already_done(job: LiveBatchJob) -> bool:
         entry = load_cached(job)
@@ -693,6 +738,8 @@ def run_live_campaign(workload: Union[WorkloadMix, Sequence[str]],
         for raw in entry["records"]:
             record = LiveStrikeRecord.from_payload(raw)
             by_key[(order[record.structure], record.index)] = record
+        if on_batch is not None:
+            on_batch(job, {"records": list(entry["records"])})
         return True
 
     if supervisor is None and jobs == 1:

@@ -38,7 +38,11 @@ def wilson_interval(successes: int, trials: int,
     centre = (p + z2 / (2 * trials)) / denom
     half = (z * math.sqrt(p * (1 - p) / trials + z2 / (4 * trials * trials))
             / denom)
-    return max(0.0, centre - half), min(1.0, centre + half)
+    # Analytically the interval always contains p, and at k=0 / k=n the
+    # touching bound is exactly 0 / 1; the float evaluation above can
+    # miss both by an ulp, so clamp against p as well as against [0, 1].
+    return (max(0.0, min(centre - half, p)),
+            min(1.0, max(centre + half, p)))
 
 
 def reliability_efficiency(ipc_value: float, avf: float) -> float:

@@ -11,7 +11,10 @@ The journal composes with — never duplicates — the result cache: the
 cache stores payloads keyed by content digest, the journal stores the
 campaign's progress through them.  Replay is tolerant of a truncated
 final line (the signature of a crash mid-write): the partial line is
-ignored, losing at most one event.
+ignored, losing at most one event.  Replay *refuses* (with a diagnostic)
+a journal carrying entries from a newer schema version: a "done" mark
+whose semantics this build cannot interpret must not silently mix with
+freshly computed results.
 """
 
 from __future__ import annotations
@@ -19,6 +22,8 @@ from __future__ import annotations
 import json
 from pathlib import Path
 from typing import Dict, Union
+
+from repro.errors import ReproError
 
 JOURNAL_SCHEMA_VERSION = 1
 
@@ -52,6 +57,19 @@ class CheckpointJournal:
                 continue  # truncated by a crash mid-write; drop it
             if not isinstance(entry, dict):
                 continue
+            schema = entry.get("schema")
+            if isinstance(schema, int) and schema > JOURNAL_SCHEMA_VERSION:
+                # A newer build wrote this journal.  Its "done" semantics
+                # may not match ours, and treating them as current-schema
+                # completions would silently mix two generations of
+                # results in one campaign — refuse with a diagnostic
+                # instead (rerun without --resume, or upgrade).
+                raise ReproError(
+                    f"checkpoint journal {self.path} contains schema "
+                    f"{schema} entries but this build reads schema "
+                    f"<= {JOURNAL_SCHEMA_VERSION}; refusing to resume — "
+                    f"rerun without --resume (recomputing from the result "
+                    f"cache) or upgrade")
             digest = entry.get("digest")
             if not isinstance(digest, str):
                 continue

@@ -40,6 +40,7 @@ execution is byte-identical to inline execution when no faults fire.
 from __future__ import annotations
 
 import hashlib
+import os
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
@@ -157,6 +158,17 @@ class _TaskState:
     last_error: str = ""
 
 
+def _apply_worker_env(env: Optional[Dict[str, str]]) -> None:
+    """Pool initializer: apply a supervisor's per-worker environment.
+
+    The campaign service runs several campaigns' pools concurrently in
+    one process; per-pool env (e.g. ``REPRO_BACKEND`` from a campaign
+    spec) must not race through the service's own ``os.environ``.
+    """
+    if env:
+        os.environ.update(env)
+
+
 def _run_task(task, attempt: int):
     """Worker entry point: run one task attempt, chaos permitting."""
     label = task.label
@@ -183,12 +195,17 @@ class Supervisor:
 
     def __init__(self, max_workers: int = 1,
                  policy: Optional[RetryPolicy] = None,
-                 journal=None) -> None:
+                 journal=None,
+                 worker_env: Optional[Dict[str, str]] = None,
+                 on_failure: Optional[Callable[[JobFailure], None]] = None
+                 ) -> None:
         if max_workers < 1:
             raise ConfigError("max_workers must be >= 1")
         self.max_workers = max_workers
         self.policy = policy or RetryPolicy()
         self.journal = journal
+        self.worker_env = dict(worker_env) if worker_env else None
+        self.on_failure = on_failure
         self.report = FailureReport()
         self.pool_rebuilds = 0
         self.timeouts = 0
@@ -207,9 +224,12 @@ class Supervisor:
 
         ``commit(task, payload)`` is called exactly once per validated
         success, as results arrive.  ``already_done(task)`` short-circuits
-        tasks the cache (or a resumed journal) can already answer.
-        Returns the batch outcome; permanent failures also accumulate on
-        :attr:`report`.
+        tasks the cache (or a resumed journal) can already answer.  The
+        constructor's ``on_failure(failure)`` hook is called as each
+        *permanent* failure lands (the campaign service streams these
+        into live status payloads); retryable failures are invisible to
+        it.  Returns the batch outcome; permanent failures also
+        accumulate on :attr:`report`.
         """
         states: Dict[str, _TaskState] = {}
         skipped = 0
@@ -292,6 +312,8 @@ class Supervisor:
                                            attempts=state.attempt,
                                            kind=kind,
                                            error=failure.error)
+            if self.on_failure is not None:
+                self.on_failure(failure)
 
         def over_budget() -> bool:
             return len(self.report.failures) > self.policy.max_failures
@@ -435,8 +457,12 @@ class Supervisor:
     # -- pool lifecycle ------------------------------------------------------------
 
     def _new_pool(self, jobs: int) -> ProcessPoolExecutor:
-        return ProcessPoolExecutor(max_workers=max(1, min(self.max_workers,
-                                                          jobs)))
+        workers = max(1, min(self.max_workers, jobs))
+        if self.worker_env is None:
+            return ProcessPoolExecutor(max_workers=workers)
+        return ProcessPoolExecutor(max_workers=workers,
+                                   initializer=_apply_worker_env,
+                                   initargs=(self.worker_env,))
 
     def _replace_pool(self, pool: ProcessPoolExecutor,
                       jobs: int) -> ProcessPoolExecutor:

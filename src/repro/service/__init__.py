@@ -1,0 +1,50 @@
+"""Campaign-as-a-service: a long-lived asyncio campaign server.
+
+The paper's AVF methodology becomes decision-grade at fleet scale —
+millions of strikes across many configurations — which no single CLI
+invocation should own.  This package turns the supervised campaign
+substrate (result cache, checkpoint journal, supervised worker pool,
+live/interval injection campaigns, reproduce artefacts) into a shared
+service:
+
+- :mod:`repro.service.specs` — schema-validated campaign specs with a
+  content-hash identity (the dedup key);
+- :mod:`repro.service.store` — the content-hash cache promoted to a
+  shared artifact store with per-campaign manifests;
+- :mod:`repro.service.scheduler` — shards specs into supervised job
+  units (:class:`~repro.faultinject.LiveBatchJob`,
+  :class:`~repro.faultinject.CampaignJob`, reproduce prewarm jobs),
+  executes them on per-campaign supervisor pools, and streams progress
+  with partial Wilson intervals as batches land;
+- :mod:`repro.service.server` — the asyncio REST/JSON front end
+  (``POST /campaigns``, ``GET /campaigns/{id}``, ...).
+
+Two clients submitting the identical spec trigger exactly one
+computation and receive byte-identical final artefacts; a crashing
+worker degrades at most its own campaign (per-campaign pools and
+degradation budgets), never its neighbours.
+"""
+
+from repro.service.scheduler import CampaignScheduler
+from repro.service.server import API_SCHEMA_VERSION, CampaignServer, run_service
+from repro.service.specs import (
+    SPEC_SCHEMA_VERSION,
+    CampaignSpec,
+    SpecError,
+    parse_spec,
+    validate_schema,
+)
+from repro.service.store import ArtifactStore
+
+__all__ = [
+    "API_SCHEMA_VERSION",
+    "ArtifactStore",
+    "CampaignScheduler",
+    "CampaignServer",
+    "CampaignSpec",
+    "SPEC_SCHEMA_VERSION",
+    "SpecError",
+    "parse_spec",
+    "run_service",
+    "validate_schema",
+]

@@ -1,0 +1,483 @@
+"""Campaign scheduler: specs in, supervised job shards out, status streamed.
+
+One :class:`CampaignScheduler` owns every campaign of a service process.
+Each submitted spec becomes a campaign record; execution runs in a
+dedicated thread on a dedicated :class:`~repro.resilience.Supervisor`
+pool, so one campaign's worker crashes, hangs and budget exhaustion
+degrade *that campaign only* — its neighbours' pools never see the
+broken executor.  The spec's ``budget`` is the per-campaign degradation
+budget (PR-3 semantics: fail past it, degrade within it).
+
+Deduplication happens at two layers, both keyed by the spec's content
+digest (:meth:`~repro.service.specs.CampaignSpec.digest`):
+
+* **in-flight**: a second submission of a spec that is queued or running
+  joins the existing campaign (``submissions`` increments, nothing else
+  happens);
+* **at rest**: a submission whose digest already has a final artifact in
+  the :class:`~repro.service.store.ArtifactStore` completes instantly
+  from the store.
+
+Either way, every client of one digest reads the same artifact file —
+byte-identical results by construction.  A campaign that previously
+*failed* or *degraded* is not dedup'd: resubmitting it is an explicit
+request to try again (journal-resume semantics — finished batches are
+still in the shared cache, so only lost work re-runs).
+
+Progress: live campaigns stream per-batch; as each
+:class:`~repro.faultinject.LiveBatchJob` lands, the per-structure strike
+and SDC counts advance and the status payload's partial Wilson intervals
+(:func:`~repro.metrics.reliability.wilson_interval`) tighten.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.config import SimConfig
+from repro.errors import ExecutionFailed, MissingResultError, ReproError
+from repro.metrics.reliability import wilson_interval
+from repro.resilience import RetryPolicy, Supervisor
+from repro.service.specs import CampaignSpec, parse_spec
+from repro.service.store import ArtifactStore
+
+#: Campaign lifecycle states.
+STATES = ("queued", "running", "done", "degraded", "failed")
+TERMINAL_STATES = ("done", "degraded", "failed")
+
+#: Outcomes counted as SDC for the streaming Wilson interval.
+_SDC = "SDC"
+
+
+@dataclass
+class _Campaign:
+    """Mutable in-memory record of one campaign (lock-guarded)."""
+
+    spec: CampaignSpec
+    id: str
+    digest: str
+    state: str = "queued"
+    submissions: int = 1
+    version: int = 0
+    batches_total: int = 0
+    batches_done: int = 0
+    #: structure value -> {"strikes": n, "sdc": k} accumulated so far.
+    progress: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    failures: List[Dict[str, object]] = field(default_factory=list)
+    error: Optional[str] = None
+    created: float = field(default_factory=time.time)
+    finished: Optional[float] = None
+    from_store: bool = False
+
+
+class CampaignScheduler:
+    """Shards campaign specs into supervised jobs and tracks their state."""
+
+    def __init__(self, store: ArtifactStore, workers: int = 2) -> None:
+        if workers < 1:
+            raise ReproError("workers must be >= 1")
+        self.store = store
+        self.workers = workers
+        self._lock = threading.Condition()
+        self._campaigns: Dict[str, _Campaign] = {}
+        self._threads: Dict[str, threading.Thread] = {}
+        #: Campaigns actually computed (dedup observability: two identical
+        #: concurrent submissions must leave this at one).
+        self.executions = 0
+        self.store_hits = 0
+
+    # -- submission ----------------------------------------------------------------
+
+    def submit(self, payload: object) -> Tuple[Dict[str, object], bool]:
+        """Validate and enqueue a spec; returns (status, deduplicated).
+
+        Raises :class:`~repro.service.specs.SpecError` on an invalid spec.
+        """
+        spec = parse_spec(payload)
+        digest = spec.digest()
+        cid = spec.campaign_id()
+        with self._lock:
+            existing = self._campaigns.get(cid)
+            if existing is not None and existing.state not in ("failed",
+                                                               "degraded"):
+                existing.submissions += 1
+                existing.version += 1
+                self._lock.notify_all()
+                return self._snapshot(existing), True
+            if existing is not None:
+                # A failed/degraded campaign: resubmission retries it.
+                existing.submissions += 1
+                existing.state = "queued"
+                existing.error = None
+                existing.failures = []
+                existing.finished = None
+                existing.batches_done = 0
+                existing.progress = {}
+                existing.version += 1
+                campaign = existing
+                dedup = False
+            elif self.store.read_artifact(digest) is not None:
+                # Finished in a previous service life: serve from store.
+                campaign = _Campaign(spec=spec, id=cid, digest=digest,
+                                     state="done", from_store=True)
+                campaign.finished = campaign.created
+                self._campaigns[cid] = campaign
+                self.store_hits += 1
+                self._write_manifest(campaign)
+                return self._snapshot(campaign), True
+            else:
+                campaign = _Campaign(spec=spec, id=cid, digest=digest)
+                self._campaigns[cid] = campaign
+                dedup = False
+            self.executions += 1
+            thread = threading.Thread(target=self._execute, args=(campaign,),
+                                      name=f"campaign-{cid}", daemon=True)
+            self._threads[cid] = thread
+            thread.start()
+            return self._snapshot(campaign), dedup
+
+    # -- queries -------------------------------------------------------------------
+
+    def status(self, campaign_id: str) -> Optional[Dict[str, object]]:
+        with self._lock:
+            campaign = self._campaigns.get(campaign_id)
+            if campaign is None:
+                return None
+            return self._snapshot(campaign)
+
+    def list_campaigns(self) -> List[Dict[str, object]]:
+        with self._lock:
+            return [self._summary(c)
+                    for c in sorted(self._campaigns.values(),
+                                    key=lambda c: (c.created, c.id))]
+
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            states: Dict[str, int] = {}
+            for campaign in self._campaigns.values():
+                states[campaign.state] = states.get(campaign.state, 0) + 1
+            return {"campaigns": len(self._campaigns),
+                    "executions": self.executions,
+                    "store_hits": self.store_hits,
+                    "states": states}
+
+    def result_bytes(self, campaign_id: str) -> Optional[bytes]:
+        """The final artifact's exact bytes, or None if not finished.
+
+        Raises ``KeyError`` for an unknown campaign.  Degraded and failed
+        campaigns have no artifact (a partial result must never be
+        content-addressed as if it answered the spec); their particulars
+        live in the status payload and the manifest.
+        """
+        with self._lock:
+            campaign = self._campaigns[campaign_id]
+            if campaign.state != "done":
+                return None
+            digest = campaign.digest
+        return self.store.read_artifact_bytes(digest)
+
+    def wait(self, campaign_id: str, timeout: float = 60.0,
+             version: Optional[int] = None) -> Optional[Dict[str, object]]:
+        """Block until the campaign changes (or terminates), then snapshot.
+
+        With ``version``, returns as soon as the campaign's version
+        exceeds it; otherwise waits for a terminal state.  Times out to
+        the current snapshot — long-polling must degrade to polling.
+        """
+        deadline = time.monotonic() + timeout
+        with self._lock:
+            while True:
+                campaign = self._campaigns.get(campaign_id)
+                if campaign is None:
+                    return None
+                if version is not None and campaign.version > version:
+                    return self._snapshot(campaign)
+                if campaign.state in TERMINAL_STATES:
+                    return self._snapshot(campaign)
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return self._snapshot(campaign)
+                self._lock.wait(remaining)
+
+    def join(self, timeout: float = 120.0) -> None:
+        """Wait for every campaign thread (tests and orderly shutdown)."""
+        deadline = time.monotonic() + timeout
+        for thread in list(self._threads.values()):
+            thread.join(max(0.0, deadline - time.monotonic()))
+
+    # -- snapshots -----------------------------------------------------------------
+
+    def _summary(self, c: _Campaign) -> Dict[str, object]:
+        return {"id": c.id, "kind": c.spec.kind, "state": c.state,
+                "workload": c.spec.workload_name,
+                "policy": c.spec.policy,
+                "submissions": c.submissions}
+
+    def _snapshot(self, c: _Campaign) -> Dict[str, object]:
+        progress = []
+        for structure in sorted(c.progress):
+            counts = c.progress[structure]
+            strikes, sdc = counts["strikes"], counts["sdc"]
+            lo, hi = wilson_interval(sdc, strikes)
+            progress.append({
+                "structure": structure,
+                "strikes": strikes,
+                "sdc": sdc,
+                "sdc_rate": (sdc / strikes) if strikes else 0.0,
+                "wilson_low": lo,
+                "wilson_high": hi,
+            })
+        return {
+            "id": c.id,
+            "kind": c.spec.kind,
+            "state": c.state,
+            "spec_digest": c.digest,
+            "workload": c.spec.workload_name,
+            "policy": c.spec.policy,
+            "submissions": c.submissions,
+            "version": c.version,
+            "batches": {"done": c.batches_done, "total": c.batches_total},
+            "progress": progress,
+            "failures": list(c.failures),
+            "error": c.error,
+            "result_ready": c.state == "done",
+        }
+
+    # -- execution -----------------------------------------------------------------
+
+    def _bump(self, campaign: _Campaign,
+              mutate: Callable[[_Campaign], None]) -> None:
+        with self._lock:
+            mutate(campaign)
+            campaign.version += 1
+            self._lock.notify_all()
+
+    def _supervisor(self, campaign: _Campaign) -> Supervisor:
+        from repro.sim.backends import BACKEND_ENV_VAR
+
+        spec = campaign.spec
+        policy = RetryPolicy(retries=spec.budget.retries,
+                             max_failures=spec.budget.max_failures,
+                             job_timeout=spec.budget.job_timeout)
+        env = ({BACKEND_ENV_VAR: spec.backend}
+               if spec.backend is not None else None)
+
+        def record(failure) -> None:
+            # Stream permanent failures into the live status payload —
+            # clients see *which* job died while the campaign grinds on.
+            self._bump(campaign,
+                       lambda c: c.failures.append(failure.to_payload()))
+
+        return Supervisor(max_workers=self.workers, policy=policy,
+                          worker_env=env, on_failure=record)
+
+    def _execute(self, campaign: _Campaign) -> None:
+        self._bump(campaign, lambda c: setattr(c, "state", "running"))
+        supervisor = self._supervisor(campaign)
+        try:
+            runner = {"live": self._run_live,
+                      "interval": self._run_interval,
+                      "reproduce": self._run_reproduce}[campaign.spec.kind]
+            payload, degraded = runner(campaign, supervisor)
+        except ExecutionFailed as exc:
+            def fail(c: _Campaign, exc=exc) -> None:
+                c.state = "failed"
+                c.error = str(exc)
+                c.failures = [f.to_payload()
+                              for f in supervisor.report.failures]
+                c.finished = time.time()
+            self._bump(campaign, fail)
+            self._write_manifest(campaign)
+            return
+        except Exception as exc:  # noqa: BLE001 - a campaign never takes
+            # down the service; the error belongs to its submitter.
+            def fail(c: _Campaign, exc=exc) -> None:
+                c.state = "failed"
+                c.error = f"{type(exc).__name__}: {exc}"
+                c.finished = time.time()
+            self._bump(campaign, fail)
+            self._write_manifest(campaign)
+            return
+
+        if not degraded:
+            self.store.write_artifact(campaign.digest, payload)
+
+        def finish(c: _Campaign) -> None:
+            c.state = "degraded" if degraded else "done"
+            c.failures = [f.to_payload() for f in supervisor.report.failures]
+            c.finished = time.time()
+        self._bump(campaign, finish)
+        self._write_manifest(campaign)
+
+    def _write_manifest(self, campaign: _Campaign) -> None:
+        with self._lock:
+            manifest = {
+                "id": campaign.id,
+                "spec": campaign.spec.to_payload(),
+                "spec_digest": campaign.digest,
+                "state": campaign.state,
+                "submissions": campaign.submissions,
+                "batches": {"done": campaign.batches_done,
+                            "total": campaign.batches_total},
+                "failures": list(campaign.failures),
+                "error": campaign.error,
+                "artifact": (f"artifacts/{campaign.digest}.json"
+                             if campaign.state == "done" else None),
+            }
+        self.store.write_manifest(campaign.id, manifest)
+
+    # -- per-kind runners ----------------------------------------------------------
+
+    def _sim_config(self, spec: CampaignSpec, threads: int) -> SimConfig:
+        return SimConfig(max_instructions=spec.instructions * threads,
+                         seed=spec.seed)
+
+    def _live_structures(self, spec: CampaignSpec):
+        from repro.faultinject.live import INJECTABLE
+
+        if not spec.structures:
+            return INJECTABLE
+        by_name = {s.value.lower(): s for s in INJECTABLE}
+        return tuple(by_name[name] for name in spec.structures)
+
+    def _run_live(self, campaign: _Campaign, supervisor: Supervisor
+                  ) -> Tuple[Dict[str, object], bool]:
+        from repro.faultinject import (LiveConfig, plan_live_batches,
+                                       run_live_campaign)
+
+        spec = campaign.spec
+        workload = list(spec.programs)
+        structures = self._live_structures(spec)
+        sim = self._sim_config(spec, len(spec.programs))
+        live = LiveConfig()
+        if spec.strike_batch is not None:
+            from dataclasses import replace
+
+            live = replace(live, strike_batch=spec.strike_batch)
+
+        batches = plan_live_batches(workload, injections=spec.strikes,
+                                    structures=structures,
+                                    policy=spec.policy, sim=sim,
+                                    seed=spec.seed,
+                                    protection=self._protection(spec),
+                                    live=live)
+        self._bump(campaign,
+                   lambda c: setattr(c, "batches_total", len(batches)))
+
+        def on_batch(job, payload) -> None:
+            def advance(c: _Campaign) -> None:
+                c.batches_done += 1
+                counts = c.progress.setdefault(
+                    job.structure.value, {"strikes": 0, "sdc": 0})
+                counts["strikes"] += len(payload["records"])
+                counts["sdc"] += sum(
+                    1 for r in payload["records"] if r["outcome"] == _SDC)
+            self._bump(campaign, advance)
+
+        result = run_live_campaign(
+            workload, injections=spec.strikes, structures=structures,
+            policy=spec.policy, sim=sim, seed=spec.seed,
+            protection=self._protection(spec), live=live,
+            supervisor=supervisor, cache_dir=self.store.cache_dir,
+            on_batch=on_batch)
+
+        structures_payload = []
+        for structure, counts in result.structures.items():
+            lo, hi = result.interval(structure)
+            structures_payload.append({
+                "structure": structure.value,
+                "injections": counts.injections,
+                "reported_avf": counts.reported_avf,
+                "sdc_rate": counts.sdc_rate,
+                "wilson_low": lo,
+                "wilson_high": hi,
+                "outcomes": {o.name: n for o, n in counts.outcomes.items()},
+            })
+        degraded = bool(supervisor.report)
+        payload = {
+            "kind": "live",
+            "spec": spec.to_payload(),
+            "workload": result.workload,
+            "cycles": result.cycles,
+            "injections_per_structure": result.injections_per_structure,
+            "protection": result.protection.value,
+            "structures": structures_payload,
+            "records": [r.to_payload() for r in result.records],
+            "summary": result.summary(),
+        }
+        return payload, degraded
+
+    def _protection(self, spec: CampaignSpec):
+        from repro.protection import ProtectionScheme
+
+        return ProtectionScheme(spec.protection)
+
+    def _run_interval(self, campaign: _Campaign, supervisor: Supervisor
+                      ) -> Tuple[Dict[str, object], bool]:
+        from repro.faultinject import InjectionOutcome, run_campaign_supervised
+        from repro.faultinject.campaign import INJECTABLE, _campaign_payload
+
+        spec = campaign.spec
+        structures = (self._live_structures(spec) if spec.structures
+                      else INJECTABLE)
+        sim = self._sim_config(spec, len(spec.programs))
+        self._bump(campaign, lambda c: setattr(c, "batches_total", 1))
+        result = run_campaign_supervised(
+            list(spec.programs), supervisor, injections=spec.strikes,
+            structures=structures, policy=spec.policy, sim=sim,
+            seed=spec.seed, cache_dir=self.store.cache_dir)
+        if result is None:
+            # Failed permanently within the budget: degraded, no artifact.
+            return {"kind": "interval", "spec": spec.to_payload(),
+                    "missing": True}, True
+
+        def advance(c: _Campaign) -> None:
+            c.batches_done = 1
+            for structure, counts in result.structures.items():
+                c.progress[structure.value] = {
+                    "strikes": counts.injections,
+                    "sdc": counts.outcomes.get(InjectionOutcome.SDC, 0),
+                }
+        self._bump(campaign, advance)
+        payload = {
+            "kind": "interval",
+            "spec": spec.to_payload(),
+            "result": _campaign_payload(result),
+            "summary": result.summary(),
+        }
+        return payload, bool(supervisor.report)
+
+    def _run_reproduce(self, campaign: _Campaign, supervisor: Supervisor
+                       ) -> Tuple[Dict[str, object], bool]:
+        from repro.experiments.parallel import prewarm_artefacts
+        from repro.experiments.reproduce import ARTEFACTS
+        from repro.experiments.runner import ExperimentScale, ResultCache
+
+        spec = campaign.spec
+        scale = ExperimentScale(instructions_per_thread=spec.instructions,
+                                seed=spec.seed)
+        cache = ResultCache(cache_dir=self.store.cache_dir)
+        self._bump(campaign, lambda c: setattr(c, "batches_total",
+                                               len(spec.artefacts)))
+        prewarm_artefacts(list(spec.artefacts), scale, cache,
+                          jobs=self.workers, supervisor=supervisor)
+        texts: Dict[str, str] = {}
+        degraded = bool(supervisor.report)
+        for name in spec.artefacts:
+            try:
+                texts[name] = ARTEFACTS[name](scale, cache)
+            except MissingResultError as exc:
+                texts[name] = (f"{name}: DEGRADED — MISSING({exc.label})\n"
+                               f"(job {exc.digest[:12]} failed permanently)")
+                degraded = True
+            self._bump(campaign, lambda c: setattr(c, "batches_done",
+                                                   c.batches_done + 1))
+        payload = {
+            "kind": "reproduce",
+            "spec": spec.to_payload(),
+            "artefacts": texts,
+        }
+        return payload, degraded

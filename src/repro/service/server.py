@@ -1,0 +1,285 @@
+"""The asyncio REST/JSON front end of the campaign service.
+
+A deliberately small HTTP/1.1 server on :func:`asyncio.start_server` —
+no ``http.server``, no framework — because the API surface is five
+routes and the contract suite pins every byte of it:
+
+========  ==============================  =======================================
+method    path                            semantics
+========  ==============================  =======================================
+GET       ``/healthz``                    liveness + API schema version
+POST      ``/campaigns``                  submit a spec; 201 new, 200 dedup'd
+GET       ``/campaigns``                  summaries of every known campaign
+GET       ``/campaigns/{id}``             full status (``?wait=SECS`` and
+                                          ``?version=N`` long-poll for change)
+GET       ``/campaigns/{id}/result``      the final artifact's exact bytes
+GET       ``/stats``                      scheduler counters (dedup observability)
+========  ==============================  =======================================
+
+Blocking scheduler calls (submission validation, long-poll waits) run via
+:func:`asyncio.to_thread`, keeping the event loop free to accept other
+clients while a campaign grinds.  Every response carries
+``Connection: close`` — one request per connection keeps the parser
+honest and the contract suite simple.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from repro.service.scheduler import CampaignScheduler
+from repro.service.specs import SpecError
+from repro.service.store import ArtifactStore, canonical_json_bytes
+
+#: Version of the REST/JSON wire contract.
+API_SCHEMA_VERSION = 1
+
+#: Refuse request bodies beyond this (a campaign spec is tiny).
+MAX_BODY_BYTES = 1 << 20
+
+#: Refuse header sections beyond this.
+MAX_HEADER_BYTES = 64 * 1024
+
+#: Cap on ``?wait=`` so a dead client cannot pin a thread for hours.
+MAX_WAIT_SECONDS = 120.0
+
+_REASONS = {200: "OK", 201: "Created", 400: "Bad Request", 404: "Not Found",
+            405: "Method Not Allowed", 408: "Request Timeout",
+            409: "Conflict", 413: "Payload Too Large",
+            500: "Internal Server Error"}
+
+
+class _HttpError(Exception):
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+class CampaignServer:
+    """Binds a :class:`CampaignScheduler` to a TCP port."""
+
+    def __init__(self, store: ArtifactStore, workers: int = 2,
+                 host: str = "127.0.0.1", port: int = 0) -> None:
+        self.scheduler = CampaignScheduler(store, workers=workers)
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle, host=self.host, port=self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        async with self._server:
+            await self._server.serve_forever()
+
+    # -- connection handling -------------------------------------------------------
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            try:
+                method, target, body = await self._read_request(reader)
+                status, payload, raw = await self._route(method, target, body)
+            except _HttpError as exc:
+                status = exc.status
+                payload = {"error": exc.message}
+                raw = None
+            except Exception as exc:  # noqa: BLE001 - a handler bug must
+                # produce a 500, not a silently dropped connection.
+                status = 500
+                payload = {"error": f"{type(exc).__name__}: {exc}"}
+                raw = None
+            data = raw if raw is not None else canonical_json_bytes(payload)
+            writer.write(self._head(status, len(data)))
+            writer.write(data)
+            await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:
+                pass
+
+    @staticmethod
+    def _head(status: int, length: int) -> bytes:
+        reason = _REASONS.get(status, "Unknown")
+        return (f"HTTP/1.1 {status} {reason}\r\n"
+                f"Content-Type: application/json\r\n"
+                f"Content-Length: {length}\r\n"
+                f"Connection: close\r\n\r\n").encode("ascii")
+
+    async def _read_request(self, reader: asyncio.StreamReader
+                            ) -> Tuple[str, str, bytes]:
+        try:
+            head = await reader.readuntil(b"\r\n\r\n")
+        except asyncio.LimitOverrunError:
+            raise _HttpError(413, "request header section too large")
+        except asyncio.IncompleteReadError:
+            raise _HttpError(400, "truncated request")
+        if len(head) > MAX_HEADER_BYTES:
+            raise _HttpError(413, "request header section too large")
+        lines = head.decode("latin-1").split("\r\n")
+        parts = lines[0].split()
+        if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+            raise _HttpError(400, f"malformed request line: {lines[0]!r}")
+        method, target = parts[0].upper(), parts[1]
+        headers: Dict[str, str] = {}
+        for line in lines[1:]:
+            if not line:
+                continue
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length_text = headers.get("content-length", "0")
+        try:
+            length = int(length_text)
+        except ValueError:
+            raise _HttpError(400, f"bad Content-Length: {length_text!r}")
+        if length < 0:
+            raise _HttpError(400, f"bad Content-Length: {length_text!r}")
+        if length > MAX_BODY_BYTES:
+            raise _HttpError(413,
+                             f"request body exceeds {MAX_BODY_BYTES} bytes")
+        body = b""
+        if length:
+            try:
+                body = await reader.readexactly(length)
+            except asyncio.IncompleteReadError:
+                raise _HttpError(400, "request body shorter than "
+                                      "Content-Length")
+        return method, target, body
+
+    # -- routing -------------------------------------------------------------------
+
+    async def _route(self, method: str, target: str, body: bytes
+                     ) -> Tuple[int, Dict[str, object], Optional[bytes]]:
+        url = urlsplit(target)
+        path = url.path.rstrip("/") or "/"
+        query = parse_qs(url.query)
+
+        if path == "/healthz":
+            self._require(method, "GET")
+            return 200, {"status": "ok",
+                         "api_schema": API_SCHEMA_VERSION}, None
+        if path == "/stats":
+            self._require(method, "GET")
+            return 200, dict(self.scheduler.stats(),
+                             api_schema=API_SCHEMA_VERSION), None
+        if path == "/campaigns":
+            if method == "POST":
+                return await self._submit(body)
+            self._require(method, "GET")
+            return 200, {"api_schema": API_SCHEMA_VERSION,
+                         "campaigns": self.scheduler.list_campaigns()}, None
+        if path.startswith("/campaigns/"):
+            rest = path[len("/campaigns/"):]
+            if "/" not in rest:
+                self._require(method, "GET")
+                return await self._status(rest, query)
+            campaign_id, _, tail = rest.partition("/")
+            if tail == "result":
+                self._require(method, "GET")
+                return await self._result(campaign_id)
+        raise _HttpError(404, f"no such route: {method} {path}")
+
+    @staticmethod
+    def _require(method: str, expected: str) -> None:
+        if method != expected:
+            raise _HttpError(405, f"method {method} not allowed here "
+                                  f"(use {expected})")
+
+    async def _submit(self, body: bytes
+                      ) -> Tuple[int, Dict[str, object], None]:
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise _HttpError(400, f"request body is not valid JSON: {exc}")
+        try:
+            status, dedup = await asyncio.to_thread(
+                self.scheduler.submit, payload)
+        except SpecError as exc:
+            raise _HttpError(400, str(exc))
+        return (200 if dedup else 201), dict(
+            status, api_schema=API_SCHEMA_VERSION, deduplicated=dedup), None
+
+    async def _status(self, campaign_id: str, query: Dict[str, list]
+                      ) -> Tuple[int, Dict[str, object], None]:
+        wait = 0.0
+        if "wait" in query:
+            try:
+                wait = min(float(query["wait"][0]), MAX_WAIT_SECONDS)
+            except ValueError:
+                raise _HttpError(400, f"bad wait value: {query['wait'][0]!r}")
+        version: Optional[int] = None
+        if "version" in query:
+            try:
+                version = int(query["version"][0])
+            except ValueError:
+                raise _HttpError(
+                    400, f"bad version value: {query['version'][0]!r}")
+        if wait > 0:
+            status = await asyncio.to_thread(
+                self.scheduler.wait, campaign_id, wait, version)
+        else:
+            status = self.scheduler.status(campaign_id)
+        if status is None:
+            raise _HttpError(404, f"unknown campaign: {campaign_id}")
+        return 200, dict(status, api_schema=API_SCHEMA_VERSION), None
+
+    async def _result(self, campaign_id: str
+                      ) -> Tuple[int, Dict[str, object], bytes]:
+        try:
+            raw = await asyncio.to_thread(
+                self.scheduler.result_bytes, campaign_id)
+        except KeyError:
+            raise _HttpError(404, f"unknown campaign: {campaign_id}")
+        if raw is None:
+            status = self.scheduler.status(campaign_id) or {}
+            state = status.get("state", "unknown")
+            raise _HttpError(409, f"campaign {campaign_id} has no result "
+                                  f"artifact (state: {state})")
+        return 200, {}, raw
+
+
+async def _serve(store_root: str, host: str, port: int, workers: int,
+                 ready=None) -> None:
+    server = CampaignServer(ArtifactStore(store_root), workers=workers,
+                            host=host, port=port)
+    await server.start()
+    if ready is not None:
+        ready(server.port)
+    try:
+        await server.serve_forever()
+    except asyncio.CancelledError:
+        pass
+    finally:
+        await server.stop()
+
+
+def run_service(store_root: str, host: str = "127.0.0.1", port: int = 8642,
+                workers: int = 2, ready=None) -> None:
+    """Run the campaign service until interrupted (the CLI entry point).
+
+    ``ready(port)`` is invoked once the socket is bound — the smoke
+    harness uses it to learn an ephemeral port without racing the bind.
+    """
+    try:
+        asyncio.run(_serve(store_root, host, port, workers, ready=ready))
+    except KeyboardInterrupt:
+        pass

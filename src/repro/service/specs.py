@@ -1,0 +1,353 @@
+"""Campaign specs: the service's schema-validated request contract.
+
+A campaign spec is a plain JSON object a client POSTs to
+``/campaigns``.  Three kinds exist, mirroring the three campaign
+substrates the framework already runs:
+
+``live``
+    Live bit-flip injection (:func:`repro.faultinject.run_live_campaign`):
+    strikes per structure, protection scheme, watchdog batching.
+``interval``
+    Interval-replay injection (:func:`repro.faultinject.run_campaign`):
+    post-hoc classification of strikes against recorded residency
+    timelines.
+``reproduce``
+    Paper artefacts (:data:`repro.experiments.reproduce.ARTEFACTS`):
+    a job graph of every simulation the named artefacts need.
+
+Validation is two-layered: a structural pass through
+:func:`validate_schema` (a deliberately small JSON-schema subset, also
+used by the contract tests to check *response* payloads against golden
+schemas), then semantic checks against the real registries (workloads,
+policies, structures, artefacts, backends).  Every error names the
+offending field — a 400 must tell the client what to fix.
+
+Identity: :meth:`CampaignSpec.digest` hashes the *canonical* spec —
+every field that can change the campaign's result and nothing that
+cannot.  ``backend`` (changes speed, never results — see
+:mod:`repro.sim.backends`) and the resilience ``budget`` are excluded,
+so two clients asking the same scientific question dedup to one
+computation even if they disagree about how to schedule it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import ReproError
+from repro.workload.mixes import TABLE2_MIXES
+from repro.workload.spec2000 import PROFILES
+
+#: Version of the spec layout.  Part of the canonical digest, so a schema
+#: change never dedups against artefacts computed under the old contract.
+SPEC_SCHEMA_VERSION = 1
+
+SPEC_KINDS = ("live", "interval", "reproduce")
+
+#: Hard ceilings: the service is shared, one client must not be able to
+#: submit a campaign that monopolises the fleet for hours.
+MAX_STRIKES = 1_000_000
+MAX_INSTRUCTIONS = 10_000_000
+
+
+class SpecError(ReproError):
+    """A campaign spec failed validation (rendered as HTTP 400)."""
+
+
+# -- minimal structural schema checker ---------------------------------------------
+
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "integer": int,
+    "number": (int, float),
+    "boolean": bool,
+    "null": type(None),
+}
+
+
+def validate_schema(obj: object, schema: Dict[str, object],
+                    path: str = "$") -> List[str]:
+    """Check ``obj`` against a small JSON-schema subset; returns errors.
+
+    Supported keywords: ``type`` (one name or a list), ``enum``,
+    ``required``, ``properties``, ``additionalProperties`` (boolean),
+    ``items``, ``minimum``, ``maximum``, ``minItems``.  This is the same
+    checker the contract tests run over golden API-response schemas, so
+    request and response validation share one (tested) definition of
+    "matches the schema".
+    """
+    errors: List[str] = []
+    type_names = schema.get("type")
+    if type_names is not None:
+        names = [type_names] if isinstance(type_names, str) else type_names
+        expected = tuple(_TYPES[n] for n in names)
+        if not isinstance(obj, expected) or (
+                isinstance(obj, bool) and "boolean" not in names):
+            errors.append(f"{path}: expected {'/'.join(names)}, "
+                          f"got {type(obj).__name__}")
+            return errors
+    if "enum" in schema and obj not in schema["enum"]:
+        allowed = ", ".join(repr(v) for v in schema["enum"])
+        errors.append(f"{path}: {obj!r} not one of [{allowed}]")
+    if isinstance(obj, (int, float)) and not isinstance(obj, bool):
+        if "minimum" in schema and obj < schema["minimum"]:
+            errors.append(f"{path}: {obj} below minimum {schema['minimum']}")
+        if "maximum" in schema and obj > schema["maximum"]:
+            errors.append(f"{path}: {obj} above maximum {schema['maximum']}")
+    if isinstance(obj, dict):
+        for name in schema.get("required", ()):
+            if name not in obj:
+                errors.append(f"{path}.{name}: required field missing")
+        props = schema.get("properties", {})
+        for name, value in obj.items():
+            sub = props.get(name)
+            if sub is not None:
+                errors.extend(validate_schema(value, sub, f"{path}.{name}"))
+            elif schema.get("additionalProperties") is False:
+                errors.append(f"{path}.{name}: unknown field")
+    if isinstance(obj, list):
+        if "minItems" in schema and len(obj) < schema["minItems"]:
+            errors.append(f"{path}: needs at least {schema['minItems']} "
+                          f"item(s), got {len(obj)}")
+        items = schema.get("items")
+        if items is not None:
+            for i, value in enumerate(obj):
+                errors.extend(validate_schema(value, items, f"{path}[{i}]"))
+    return errors
+
+
+#: The structural contract of a POST /campaigns body.
+SPEC_SCHEMA: Dict[str, object] = {
+    "type": "object",
+    "required": ["kind"],
+    "additionalProperties": False,
+    "properties": {
+        "kind": {"type": "string", "enum": list(SPEC_KINDS)},
+        "workload": {"type": ["string", "array"],
+                     "items": {"type": "string"}, "minItems": 1},
+        "policy": {"type": "string"},
+        "instructions": {"type": "integer", "minimum": 1,
+                         "maximum": MAX_INSTRUCTIONS},
+        "seed": {"type": "integer"},
+        "strikes": {"type": "integer", "minimum": 0, "maximum": MAX_STRIKES},
+        "structures": {"type": "array", "items": {"type": "string"},
+                       "minItems": 1},
+        "protection": {"type": "string",
+                       "enum": ["none", "parity", "ecc"]},
+        "strike_batch": {"type": "integer", "minimum": 1},
+        "artefacts": {"type": "array", "items": {"type": "string"},
+                      "minItems": 1},
+        "backend": {"type": "string"},
+        "budget": {
+            "type": "object",
+            "additionalProperties": False,
+            "properties": {
+                "retries": {"type": "integer", "minimum": 0},
+                "max_failures": {"type": "integer", "minimum": 0},
+                "job_timeout": {"type": ["number", "null"], "minimum": 0},
+            },
+        },
+    },
+}
+
+
+@dataclass(frozen=True)
+class CampaignBudget:
+    """Per-campaign degradation budget (PR-3 semantics, per campaign)."""
+
+    retries: int = 1
+    max_failures: int = 0
+    job_timeout: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """One validated campaign request."""
+
+    kind: str
+    workload_name: str
+    programs: Tuple[str, ...]
+    policy: str = "ICOUNT"
+    instructions: int = 300
+    seed: int = 1
+    strikes: int = 8
+    structures: Tuple[str, ...] = ()
+    protection: str = "none"
+    strike_batch: Optional[int] = None
+    artefacts: Tuple[str, ...] = ()
+    backend: Optional[str] = None
+    budget: CampaignBudget = field(default_factory=CampaignBudget)
+
+    def canonical(self) -> Dict[str, object]:
+        """The digestable identity: result-affecting fields only.
+
+        ``backend``, ``budget`` and ``strike_batch`` shape *how* the
+        campaign executes (kernel choice, retry policy, batch size), not
+        what it computes — live-strike draws are keyed by (seed,
+        structure, index) substreams, so batching cannot move a result.
+        Excluding them is what makes dedup hit across clients that only
+        disagree about scheduling.
+        """
+        return {
+            "spec_schema": SPEC_SCHEMA_VERSION,
+            "kind": self.kind,
+            "workload": self.workload_name,
+            "programs": list(self.programs),
+            "policy": self.policy,
+            "instructions": self.instructions,
+            "seed": self.seed,
+            "strikes": self.strikes,
+            "structures": list(self.structures),
+            "protection": self.protection,
+            "artefacts": list(self.artefacts),
+        }
+
+    def digest(self) -> str:
+        from repro.experiments.runner import stable_digest
+
+        return stable_digest(self.canonical())
+
+    def campaign_id(self) -> str:
+        return self.digest()[:16]
+
+    def to_payload(self) -> Dict[str, object]:
+        """The spec as echoed in status payloads (canonical + scheduling)."""
+        payload = self.canonical()
+        payload["backend"] = self.backend
+        payload["strike_batch"] = self.strike_batch
+        payload["budget"] = {"retries": self.budget.retries,
+                             "max_failures": self.budget.max_failures,
+                             "job_timeout": self.budget.job_timeout}
+        return payload
+
+
+def _resolve_workload(raw: Union[str, Sequence[str]]
+                      ) -> Tuple[str, Tuple[str, ...]]:
+    if isinstance(raw, str):
+        tokens: List[str] = [raw]
+    else:
+        tokens = list(raw)
+    if len(tokens) == 1 and tokens[0] in TABLE2_MIXES:
+        mix = TABLE2_MIXES[tokens[0]]
+        return mix.name, tuple(mix.programs)
+    unknown = [t for t in tokens if t not in PROFILES]
+    if unknown:
+        raise SpecError(
+            f"spec.workload: unknown workload/programs {unknown}; "
+            f"use a Table 2 mix name or SPEC program names")
+    return "+".join(tokens), tuple(tokens)
+
+
+def parse_spec(payload: object) -> CampaignSpec:
+    """Validate a raw request body into a :class:`CampaignSpec`.
+
+    Raises :class:`SpecError` with every structural problem joined into
+    one message (a client should not need N round trips to discover N
+    typos), then with the first semantic problem found.
+    """
+    if not isinstance(payload, dict):
+        raise SpecError(
+            f"campaign spec must be a JSON object, got "
+            f"{type(payload).__name__}")
+    errors = validate_schema(payload, SPEC_SCHEMA, path="spec")
+    if errors:
+        raise SpecError("; ".join(errors))
+
+    kind = payload["kind"]
+    # Injection campaigns strike one workload; reproduce campaigns draw
+    # their workloads from the artefact registry, so a workload there is
+    # rejected rather than silently splitting digests of equal requests.
+    if kind == "reproduce":
+        if "workload" in payload:
+            raise SpecError("spec.workload: not meaningful for kind "
+                            "'reproduce' (artefacts name their workloads)")
+        workload_name, programs = "", ()
+    else:
+        if "workload" not in payload:
+            raise SpecError(f"spec.workload: required for kind {kind!r}")
+        workload_name, programs = _resolve_workload(payload["workload"])
+
+    policy = payload.get("policy", "ICOUNT")
+    from repro.fetch.registry import EXTENSION_POLICY_NAMES, POLICY_NAMES
+
+    known_policies = POLICY_NAMES + EXTENSION_POLICY_NAMES
+    if policy not in known_policies:
+        raise SpecError(f"spec.policy: unknown fetch policy {policy!r}; "
+                        f"known: {', '.join(known_policies)}")
+
+    backend = payload.get("backend")
+    if backend is not None:
+        from repro.sim.backends import resolve_backend
+
+        try:
+            backend = resolve_backend(backend)
+        except ReproError as exc:
+            raise SpecError(f"spec.backend: {exc}") from None
+
+    structures: Tuple[str, ...] = ()
+    if "structures" in payload:
+        if kind == "reproduce":
+            raise SpecError(
+                "spec.structures: not meaningful for kind 'reproduce'")
+        from repro.faultinject.live import INJECTABLE
+
+        by_name = {s.value.lower(): s for s in INJECTABLE}
+        unknown = [s for s in payload["structures"]
+                   if s.lower() not in by_name]
+        if unknown:
+            raise SpecError(
+                f"spec.structures: unknown structures {unknown}; "
+                f"known: {', '.join(sorted(by_name))}")
+        structures = tuple(s.lower() for s in payload["structures"])
+
+    artefacts: Tuple[str, ...] = ()
+    if kind == "reproduce":
+        if "artefacts" not in payload:
+            raise SpecError("spec.artefacts: required for kind 'reproduce'")
+        from repro.experiments.parallel import KNOWN_ARTEFACTS
+
+        unknown = sorted(set(payload["artefacts"]) - KNOWN_ARTEFACTS)
+        if unknown:
+            raise SpecError(f"spec.artefacts: unknown artefacts {unknown}; "
+                            f"known: {sorted(KNOWN_ARTEFACTS)}")
+        artefacts = tuple(payload["artefacts"])
+    elif "artefacts" in payload:
+        raise SpecError(
+            f"spec.artefacts: only meaningful for kind 'reproduce', "
+            f"not {kind!r}")
+
+    budget_raw = payload.get("budget", {})
+    budget = CampaignBudget(
+        retries=int(budget_raw.get("retries", 1)),
+        max_failures=int(budget_raw.get("max_failures", 0)),
+        job_timeout=budget_raw.get("job_timeout"),
+    )
+
+    defaults = {"live": (300, 8), "interval": (2500, 2000),
+                "reproduce": (300, 0)}
+    default_instructions, default_strikes = defaults[kind]
+    # Injection-only fields are normalised away for reproduce specs so a
+    # stray "strikes": 5 cannot split two otherwise-identical reproduce
+    # campaigns into different digests.
+    strikes = (0 if kind == "reproduce"
+               else int(payload.get("strikes", default_strikes)))
+    protection = ("none" if kind == "reproduce"
+                  else payload.get("protection", "none"))
+    return CampaignSpec(
+        kind=kind,
+        workload_name=workload_name,
+        programs=programs,
+        policy=policy,
+        instructions=int(payload.get("instructions", default_instructions)),
+        seed=int(payload.get("seed", 1)),
+        strikes=strikes,
+        structures=structures,
+        protection=protection,
+        strike_batch=payload.get("strike_batch"),
+        artefacts=artefacts,
+        backend=backend,
+        budget=budget,
+    )

@@ -1,0 +1,127 @@
+"""The shared artifact store: content-hash cache + per-campaign manifests.
+
+The PR-1 result cache and the PR-3/PR-5 campaign caches already key every
+payload by a content hash of its inputs; this module promotes that layout
+to a multi-tenant store the campaign service owns:
+
+``<root>/cache/``
+    The shared computation cache — ``SimResult`` entries, interval-replay
+    ``campaign-<digest>.json`` entries and live ``live-<digest>.json``
+    batch entries, exactly the files the CLI paths read and write.  Every
+    campaign's supervised jobs dedup through it, so two campaigns sharing
+    simulations share the work.
+
+``<root>/artifacts/<spec-digest>.json``
+    Final campaign results, content-addressed by the *spec* digest and
+    serialized canonically (sorted keys, fixed separators) — which is
+    what makes "byte-identical results for identical specs" a property
+    of the store rather than a promise of the scheduler.
+
+``<root>/campaigns/<id>/manifest.json``
+    Per-campaign metadata: the spec, terminal state, submission count,
+    batch progress, failures (the service's analogue of PR-3's
+    ``failures.json`` exit artefact), and the artifact digest.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.experiments.runner import atomic_write_json, sweep_tmp_orphans
+
+#: Version of the artifact/manifest layout.
+STORE_SCHEMA_VERSION = 1
+
+
+def canonical_json_bytes(payload: Dict[str, object]) -> bytes:
+    """The one true serialization of an artifact (byte-determinism)."""
+    return (json.dumps(payload, sort_keys=True,
+                       separators=(",", ":")) + "\n").encode("utf-8")
+
+
+class ArtifactStore:
+    """Owns the service's on-disk layout under one root directory."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.cache_dir = self.root / "cache"
+        self.artifact_dir = self.root / "artifacts"
+        self.campaign_dir = self.root / "campaigns"
+        for directory in (self.cache_dir, self.artifact_dir,
+                          self.campaign_dir):
+            directory.mkdir(parents=True, exist_ok=True)
+            sweep_tmp_orphans(directory)
+
+    # -- artifacts (content-addressed finals) --------------------------------------
+
+    def artifact_path(self, digest: str) -> Path:
+        return self.artifact_dir / f"{digest}.json"
+
+    def has_artifact(self, digest: str) -> bool:
+        return self.artifact_path(digest).exists()
+
+    def write_artifact(self, digest: str, payload: Dict[str, object]) -> None:
+        """Canonical, atomic write; idempotent for identical payloads."""
+        path = self.artifact_path(digest)
+        data = canonical_json_bytes({"schema": STORE_SCHEMA_VERSION,
+                                     "result": payload})
+        tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
+        try:
+            tmp.write_bytes(data)
+            os.replace(tmp, path)
+        finally:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+
+    def read_artifact_bytes(self, digest: str) -> bytes:
+        """The exact bytes every client of this digest receives."""
+        return self.artifact_path(digest).read_bytes()
+
+    def read_artifact(self, digest: str) -> Optional[Dict[str, object]]:
+        try:
+            entry = json.loads(self.read_artifact_bytes(digest))
+        except (OSError, ValueError):
+            return None
+        if (not isinstance(entry, dict)
+                or entry.get("schema") != STORE_SCHEMA_VERSION):
+            # Stale layout: invalidate so the campaign recomputes under
+            # the current schema instead of serving a misread.
+            try:
+                self.artifact_path(digest).unlink()
+            except OSError:
+                pass
+            return None
+        return entry.get("result")
+
+    # -- manifests (per-campaign metadata) -----------------------------------------
+
+    def manifest_path(self, campaign_id: str) -> Path:
+        return self.campaign_dir / campaign_id / "manifest.json"
+
+    def write_manifest(self, campaign_id: str,
+                       manifest: Dict[str, object]) -> None:
+        path = self.manifest_path(campaign_id)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        atomic_write_json(path, {"schema": STORE_SCHEMA_VERSION,
+                                 "manifest": manifest})
+
+    def read_manifest(self, campaign_id: str) -> Optional[Dict[str, object]]:
+        try:
+            entry = json.loads(self.manifest_path(campaign_id).read_text())
+        except (OSError, ValueError):
+            return None
+        if (not isinstance(entry, dict)
+                or entry.get("schema") != STORE_SCHEMA_VERSION):
+            return None
+        return entry.get("manifest")
+
+    def list_campaigns(self) -> List[str]:
+        if not self.campaign_dir.exists():
+            return []
+        return sorted(p.name for p in self.campaign_dir.iterdir()
+                      if (p / "manifest.json").exists())

@@ -38,14 +38,27 @@ BACKEND_NAMES = ("python", "vector")
 
 def resolve_backend(backend: Optional[str] = None) -> str:
     """Validate an explicit choice, or read ``REPRO_BACKEND`` (default
-    ``python``)."""
+    ``python``).
+
+    An explicit argument always wins over the environment variable.  The
+    rejection message names where the bad value came from: a typo in
+    ``REPRO_BACKEND`` surfaces deep inside a worker process, far from any
+    CLI flag, and "unknown backend" alone sent users hunting through the
+    wrong layer.
+    """
+    source = "backend argument"
     if backend is None:
-        backend = os.environ.get(BACKEND_ENV_VAR) or BACKEND_NAMES[0]
+        env_value = os.environ.get(BACKEND_ENV_VAR)
+        if env_value:
+            backend = env_value
+            source = f"{BACKEND_ENV_VAR} environment variable"
+        else:
+            backend = BACKEND_NAMES[0]
     name = backend.strip().lower()
     if name not in BACKEND_NAMES:
         raise ReproError(
-            f"unknown simulation backend {backend!r}; "
-            f"known: {', '.join(BACKEND_NAMES)}")
+            f"unknown simulation backend {backend!r} (from {source}); "
+            f"known backends: {', '.join(BACKEND_NAMES)}")
     return name
 
 

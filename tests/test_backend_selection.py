@@ -1,0 +1,88 @@
+"""Negative-path tests for cycle-kernel backend selection (PR-7 satellite).
+
+A typo in ``REPRO_BACKEND`` surfaces deep inside a worker process, far
+from any CLI flag — the rejection must name the valid backends *and*
+where the bad value came from, or users hunt through the wrong layer.
+"""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.sim.backends import (BACKEND_ENV_VAR, BACKEND_NAMES,
+                                apply_backend_env, core_class,
+                                resolve_backend)
+
+
+class TestDefaults:
+    def test_no_arg_no_env_is_python(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        assert resolve_backend() == "python"
+
+    def test_empty_env_is_ignored(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "")
+        assert resolve_backend() == "python"
+
+    def test_env_selects_backend(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "vector")
+        assert resolve_backend() == "vector"
+
+    def test_names_normalised(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        assert resolve_backend("  Vector ") == "vector"
+        assert resolve_backend("PYTHON") == "python"
+
+
+class TestExplicitArgWins:
+    def test_arg_overrides_env(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "vector")
+        assert resolve_backend("python") == "python"
+        monkeypatch.setenv(BACKEND_ENV_VAR, "python")
+        assert resolve_backend("vector") == "vector"
+
+    def test_arg_overrides_even_invalid_env(self, monkeypatch):
+        # A broken environment must not poison an explicit valid choice.
+        monkeypatch.setenv(BACKEND_ENV_VAR, "garbage")
+        assert resolve_backend("python") == "python"
+
+    def test_core_class_respects_arg_over_env(self, monkeypatch):
+        from repro.pipeline.core import SMTCore
+        from repro.sim.vector import VectorCore
+
+        monkeypatch.setenv(BACKEND_ENV_VAR, "vector")
+        assert core_class("python") is SMTCore
+        monkeypatch.delenv(BACKEND_ENV_VAR)
+        assert core_class("vector") is VectorCore
+
+
+class TestRejectionMessages:
+    def test_invalid_arg_names_valid_backends(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        with pytest.raises(ReproError) as excinfo:
+            resolve_backend("fortran")
+        message = str(excinfo.value)
+        assert "'fortran'" in message
+        for name in BACKEND_NAMES:
+            assert name in message
+        assert "backend argument" in message
+
+    def test_invalid_env_blames_the_environment_variable(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "fortran")
+        with pytest.raises(ReproError) as excinfo:
+            resolve_backend()
+        message = str(excinfo.value)
+        assert BACKEND_ENV_VAR in message
+        assert "'fortran'" in message
+        for name in BACKEND_NAMES:
+            assert name in message
+
+    def test_invalid_choice_rejected_before_export(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        with pytest.raises(ReproError):
+            apply_backend_env("fortran")
+        assert BACKEND_ENV_VAR not in __import__("os").environ
+
+    def test_whitespace_only_value_rejected(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "   ")
+        with pytest.raises(ReproError) as excinfo:
+            resolve_backend()
+        assert BACKEND_ENV_VAR in str(excinfo.value)

@@ -1,0 +1,384 @@
+"""Contract suite for the campaign service (PR-7 tentpole).
+
+The service's REST/JSON API is pinned three ways:
+
+* **golden schemas** — every response payload must validate against
+  ``tests/golden/service_schemas.json`` via the same
+  :func:`~repro.service.specs.validate_schema` checker the server uses
+  for requests;
+* **concurrency** — two clients submitting the identical spec trigger
+  exactly one computation and read byte-identical result artifacts;
+* **chaos** — a ``REPRO_CHAOS`` rule crashing one campaign's workers
+  degrades that campaign only; its neighbour, on its own supervisor
+  pool, completes untouched.
+
+The harness is fully in-process: the asyncio server runs on its own
+event loop in a daemon thread, bound to an ephemeral port, and the
+client is stdlib ``http.client`` — real sockets, real HTTP parsing, no
+mocks between the contract and the implementation.
+"""
+
+import asyncio
+import json
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro.resilience.chaos import CHAOS_ENV_VAR
+from repro.service import API_SCHEMA_VERSION, validate_schema
+from repro.service.server import CampaignServer
+from repro.service.store import ArtifactStore
+
+GOLDEN = Path(__file__).parent / "golden" / "service_schemas.json"
+SCHEMAS = json.loads(GOLDEN.read_text())
+
+#: A spec small enough that a full live campaign lands in a few seconds.
+TINY_LIVE = {"kind": "live", "workload": ["gcc"], "strikes": 4,
+             "instructions": 80, "structures": ["iq"]}
+
+
+def check(payload, schema_name):
+    errors = validate_schema(payload, SCHEMAS[schema_name])
+    assert not errors, f"{schema_name}: {errors}"
+
+
+class ServiceHarness:
+    """In-process server + blocking HTTP client for the contract tests."""
+
+    def __init__(self, root):
+        self.server = CampaignServer(ArtifactStore(root), workers=2)
+        self.loop = asyncio.new_event_loop()
+        self._ready = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+        assert self._ready.wait(15), "server failed to start"
+
+    def _run(self):
+        asyncio.set_event_loop(self.loop)
+        self.loop.run_until_complete(self.server.start())
+        self._ready.set()
+        self.loop.run_forever()
+
+    def stop(self):
+        if self.loop.is_closed():
+            return
+        asyncio.run_coroutine_threadsafe(self.server.stop(),
+                                         self.loop).result(10)
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self._thread.join(10)
+        self.loop.close()
+
+    def request(self, method, path, body=None, timeout=180.0):
+        import http.client
+
+        conn = http.client.HTTPConnection("127.0.0.1", self.server.port,
+                                          timeout=timeout)
+        try:
+            data = json.dumps(body).encode() if body is not None else None
+            conn.request(method, path, body=data)
+            response = conn.getresponse()
+            raw = response.read()
+        finally:
+            conn.close()
+        try:
+            payload = json.loads(raw)
+        except ValueError:
+            payload = None
+        return response.status, payload, raw
+
+    def finish(self, campaign_id, timeout=180.0):
+        """Long-poll until the campaign reaches a terminal state."""
+        status, payload, _ = self.request(
+            "GET", f"/campaigns/{campaign_id}?wait={int(timeout)}")
+        assert status == 200, payload
+        assert payload["state"] in ("done", "degraded", "failed"), payload
+        return payload
+
+
+@pytest.fixture
+def service(tmp_path):
+    harness = ServiceHarness(tmp_path / "store")
+    yield harness
+    harness.stop()
+
+
+class TestResponseSchemas:
+    def test_healthz(self, service):
+        status, payload, _ = service.request("GET", "/healthz")
+        assert status == 200
+        check(payload, "healthz")
+        assert payload["api_schema"] == API_SCHEMA_VERSION
+
+    def test_submit_status_list_stats_result(self, service):
+        status, payload, _ = service.request("POST", "/campaigns",
+                                             body=TINY_LIVE)
+        assert status == 201
+        check(payload, "submit_response")
+        check(payload, "campaign_status")
+        assert payload["deduplicated"] is False
+        cid = payload["id"]
+
+        final = service.finish(cid)
+        check(final, "campaign_status")
+        assert final["state"] == "done"
+        assert final["result_ready"] is True
+        assert final["batches"]["done"] == final["batches"]["total"] == 1
+        # Partial progress carries Wilson bounds that bracket the estimate.
+        (progress,) = final["progress"]
+        assert progress["structure"] == "IQ"
+        assert progress["strikes"] == 4
+        assert (progress["wilson_low"] <= progress["sdc_rate"]
+                <= progress["wilson_high"])
+
+        status, payload, _ = service.request("GET", "/campaigns")
+        assert status == 200
+        check(payload, "campaign_list")
+        assert [c["id"] for c in payload["campaigns"]] == [cid]
+
+        status, payload, _ = service.request("GET", "/stats")
+        assert status == 200
+        check(payload, "stats")
+        assert payload["executions"] == 1
+
+        status, payload, raw = service.request("GET",
+                                               f"/campaigns/{cid}/result")
+        assert status == 200
+        check(payload, "result_envelope")
+        assert payload["result"]["kind"] == "live"
+        assert raw.endswith(b"\n")
+
+    @pytest.mark.parametrize("spec,expect_progress", [
+        ({"kind": "interval", "workload": ["gcc"], "strikes": 30,
+          "instructions": 150}, True),
+        ({"kind": "reproduce", "artefacts": ["fig1_avf_profile"],
+          "instructions": 120}, False),
+    ], ids=["interval", "reproduce"])
+    def test_other_kinds_honour_the_same_contract(self, service, spec,
+                                                  expect_progress):
+        status, payload, _ = service.request("POST", "/campaigns", body=spec)
+        assert status == 201
+        check(payload, "submit_response")
+        final = service.finish(payload["id"])
+        check(final, "campaign_status")
+        assert final["state"] == "done"
+        assert bool(final["progress"]) == expect_progress
+        status, payload, raw = service.request(
+            "GET", f"/campaigns/{payload['id']}/result")
+        assert status == 200
+        check(payload, "result_envelope")
+        assert payload["result"]["kind"] == spec["kind"]
+
+    def test_error_schemas(self, service):
+        cases = [
+            ("POST", "/campaigns", {"kind": "nope"}, 400),
+            ("POST", "/campaigns", None, 400),          # empty body
+            ("GET", "/campaigns/ffffffffffffffff", None, 404),
+            ("GET", "/nowhere", None, 404),
+            ("DELETE", "/campaigns", None, 405),
+            ("GET", "/campaigns/ffffffffffffffff/result", None, 404),
+        ]
+        for method, path, body, expected in cases:
+            status, payload, _ = service.request(method, path, body=body)
+            assert status == expected, (method, path, payload)
+            check(payload, "error")
+
+    def test_validation_error_names_the_field(self, service):
+        status, payload, _ = service.request(
+            "POST", "/campaigns",
+            body={"kind": "live", "workload": ["gcc"], "strikes": -1})
+        assert status == 400
+        assert "strikes" in payload["error"]
+
+        status, payload, _ = service.request(
+            "POST", "/campaigns",
+            body={"kind": "live", "workload": ["gcc"], "surprise": 1})
+        assert status == 400
+        assert "surprise" in payload["error"]
+
+    def test_result_conflict_before_done(self, service):
+        status, payload, _ = service.request("POST", "/campaigns",
+                                             body=TINY_LIVE)
+        cid = payload["id"]
+        # Immediately asking for the result races the campaign; either it
+        # is not finished (409) or it already landed (200) — never a 500.
+        status, payload, _ = service.request("GET", f"/campaigns/{cid}/result")
+        assert status in (200, 409)
+        if status == 409:
+            check(payload, "error")
+        service.finish(cid)
+
+
+class TestDeduplication:
+    def test_concurrent_identical_submissions_compute_once(self, service):
+        barrier = threading.Barrier(2)
+        outcomes = []
+
+        def submit():
+            barrier.wait()
+            outcomes.append(service.request("POST", "/campaigns",
+                                            body=TINY_LIVE))
+
+        threads = [threading.Thread(target=submit) for _ in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(60)
+        assert len(outcomes) == 2
+        ids = {payload["id"] for _, payload, _ in outcomes}
+        assert len(ids) == 1
+        (cid,) = ids
+        # Exactly one 201 (created) — the other submission coalesced.
+        assert sorted(status for status, _, _ in outcomes) == [200, 201]
+
+        final = service.finish(cid)
+        assert final["state"] == "done"
+        assert final["submissions"] == 2
+
+        status, payload, _ = service.request("GET", "/stats")
+        assert payload["executions"] == 1
+
+        _, _, raw_a = service.request("GET", f"/campaigns/{cid}/result")
+        _, _, raw_b = service.request("GET", f"/campaigns/{cid}/result")
+        assert raw_a == raw_b
+        assert len(raw_a) > 2
+
+    def test_scheduling_fields_do_not_split_identity(self, service):
+        status, first, _ = service.request("POST", "/campaigns",
+                                           body=TINY_LIVE)
+        assert status == 201
+        service.finish(first["id"])
+        # Same science, different scheduling: dedups to the same artifact.
+        variant = dict(TINY_LIVE, backend="python",
+                       budget={"retries": 3}, strike_batch=1)
+        status, second, _ = service.request("POST", "/campaigns",
+                                            body=variant)
+        assert status == 200
+        assert second["id"] == first["id"]
+        assert second["deduplicated"] is True
+
+    def test_store_survives_server_restart(self, service, tmp_path):
+        status, payload, _ = service.request("POST", "/campaigns",
+                                             body=TINY_LIVE)
+        cid = payload["id"]
+        service.finish(cid)
+        _, _, raw = service.request("GET", f"/campaigns/{cid}/result")
+        service.stop()
+
+        reborn = ServiceHarness(tmp_path / "store")
+        try:
+            status, payload, _ = reborn.request("POST", "/campaigns",
+                                                body=TINY_LIVE)
+            assert status == 200
+            assert payload["deduplicated"] is True
+            assert payload["state"] == "done"
+            _, _, raw2 = reborn.request("GET", f"/campaigns/{cid}/result")
+            assert raw2 == raw
+            _, stats, _ = reborn.request("GET", "/stats")
+            assert stats["executions"] == 0
+            assert stats["store_hits"] == 1
+        finally:
+            reborn.stop()
+
+
+class TestChaosIsolation:
+    def test_crashing_campaign_does_not_poison_neighbour(self, service,
+                                                         monkeypatch):
+        # Crash every attempt of any job whose label mentions gcc: that
+        # is campaign A's workload and only campaign A's.
+        monkeypatch.setenv(CHAOS_ENV_VAR, "crash:live/gcc:*")
+        spec_a = dict(TINY_LIVE, budget={"retries": 1, "max_failures": 0})
+        spec_b = dict(TINY_LIVE, workload=["mcf"])
+
+        _, a, _ = service.request("POST", "/campaigns", body=spec_a)
+        _, b, _ = service.request("POST", "/campaigns", body=spec_b)
+        assert a["id"] != b["id"]
+
+        final_a = service.finish(a["id"])
+        final_b = service.finish(b["id"])
+
+        assert final_a["state"] == "failed"
+        assert final_a["failures"], "permanent failures must be reported"
+        assert any("crash" in f["kinds"] for f in final_a["failures"])
+        check(final_a, "campaign_status")
+
+        assert final_b["state"] == "done"
+        assert final_b["failures"] == []
+        status, _, raw = service.request("GET",
+                                         f"/campaigns/{b['id']}/result")
+        assert status == 200 and len(raw) > 2
+
+        # The failed campaign has no artifact to serve...
+        status, payload, _ = service.request("GET",
+                                             f"/campaigns/{a['id']}/result")
+        assert status == 409
+        check(payload, "error")
+
+        # ...and once chaos clears, resubmitting it retries for real
+        # (a failure is never dedup'd into permanence).
+        monkeypatch.delenv(CHAOS_ENV_VAR)
+        status, retry, _ = service.request("POST", "/campaigns", body=spec_a)
+        assert status == 201
+        assert retry["id"] == a["id"]
+        final = service.finish(a["id"])
+        assert final["state"] == "done"
+        status, _, _ = service.request("GET", f"/campaigns/{a['id']}/result")
+        assert status == 200
+
+    def test_budgeted_campaign_degrades_instead_of_failing(self, service,
+                                                           monkeypatch):
+        monkeypatch.setenv(CHAOS_ENV_VAR, "crash:live/gcc:*")
+        spec = dict(TINY_LIVE, budget={"retries": 0, "max_failures": 8})
+        _, payload, _ = service.request("POST", "/campaigns", body=spec)
+        final = service.finish(payload["id"])
+        assert final["state"] == "degraded"
+        assert final["failures"]
+        # Degraded output is not content-addressed as a final artifact:
+        # it must never satisfy a future submission of the same spec.
+        status, _, _ = service.request("GET",
+                                       f"/campaigns/{payload['id']}/result")
+        assert status == 409
+
+
+class TestHttpEdges:
+    def test_malformed_json_body(self, service):
+        import http.client
+
+        conn = http.client.HTTPConnection("127.0.0.1", service.server.port,
+                                          timeout=30)
+        try:
+            conn.request("POST", "/campaigns", body=b"{not json")
+            response = conn.getresponse()
+            payload = json.loads(response.read())
+        finally:
+            conn.close()
+        assert response.status == 400
+        check(payload, "error")
+        assert "JSON" in payload["error"]
+
+    def test_oversized_body_refused(self, service):
+        import http.client
+
+        from repro.service.server import MAX_BODY_BYTES
+
+        conn = http.client.HTTPConnection("127.0.0.1", service.server.port,
+                                          timeout=30)
+        try:
+            conn.putrequest("POST", "/campaigns")
+            conn.putheader("Content-Length", str(MAX_BODY_BYTES + 1))
+            conn.endheaders()
+            response = conn.getresponse()
+            payload = json.loads(response.read())
+        finally:
+            conn.close()
+        assert response.status == 413
+        check(payload, "error")
+
+    def test_malformed_request_line(self, service):
+        import socket
+
+        with socket.create_connection(("127.0.0.1", service.server.port),
+                                      timeout=30) as sock:
+            sock.sendall(b"GARBAGE\r\n\r\n")
+            data = sock.recv(65536)
+        assert data.startswith(b"HTTP/1.1 400 ")

@@ -1,0 +1,105 @@
+"""Property tests for the Wilson score interval (PR-7 satellite).
+
+The campaign service streams partial Wilson intervals as batches land,
+so the interval is now load-bearing API surface, not just a line in the
+injection-validation artefact.  These properties pin the mathematical
+contract: bounds live in [0, 1], always bracket the point estimate,
+tighten as evidence accumulates, and behave at the k=0 / k=n / n=0 /
+n=1 edges where the normal approximation would misbehave.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.reliability import wilson_interval
+
+#: (successes, trials) with 0 <= k <= n, n up to large campaigns.
+counts = st.integers(min_value=0, max_value=200_000).flatmap(
+    lambda n: st.tuples(st.integers(min_value=0, max_value=n), st.just(n)))
+
+z_values = st.floats(min_value=0.1, max_value=6.0,
+                     allow_nan=False, allow_infinity=False)
+
+
+class TestEdges:
+    def test_zero_trials_is_the_vacuous_interval(self):
+        assert wilson_interval(0, 0) == (0.0, 1.0)
+
+    @pytest.mark.parametrize("n", [1, 2, 10, 5000])
+    def test_zero_successes_lower_bound_is_zero(self, n):
+        low, high = wilson_interval(0, n)
+        assert low == 0.0
+        assert 0.0 < high < 1.0
+
+    @pytest.mark.parametrize("n", [1, 2, 10, 5000])
+    def test_all_successes_upper_bound_is_one(self, n):
+        low, high = wilson_interval(n, n)
+        assert high == 1.0
+        assert 0.0 < low < 1.0
+
+    def test_single_trial_is_wide_but_proper(self):
+        low, high = wilson_interval(0, 1)
+        assert low == 0.0 and high < 1.0
+        low, high = wilson_interval(1, 1)
+        assert low > 0.0 and high == 1.0
+
+    def test_negative_trials_rejected(self):
+        with pytest.raises(ValueError):
+            wilson_interval(0, -1)
+
+    def test_successes_beyond_trials_rejected(self):
+        with pytest.raises(ValueError):
+            wilson_interval(3, 2)
+        with pytest.raises(ValueError):
+            wilson_interval(-1, 2)
+
+
+class TestProperties:
+    @given(counts)
+    @settings(max_examples=300, deadline=None)
+    def test_bounds_in_unit_interval_and_ordered(self, kn):
+        k, n = kn
+        low, high = wilson_interval(k, n)
+        assert 0.0 <= low <= high <= 1.0
+
+    @given(counts)
+    @settings(max_examples=300, deadline=None)
+    def test_interval_contains_point_estimate(self, kn):
+        k, n = kn
+        low, high = wilson_interval(k, n)
+        if n:
+            assert low <= k / n <= high
+
+    @given(counts, z_values)
+    @settings(max_examples=200, deadline=None)
+    def test_holds_for_any_confidence_level(self, kn, z):
+        k, n = kn
+        low, high = wilson_interval(k, n, z=z)
+        assert 0.0 <= low <= high <= 1.0
+        if n:
+            assert low <= k / n <= high
+
+    @given(st.integers(min_value=1, max_value=50_000),
+           st.fractions(min_value=0, max_value=1),
+           st.integers(min_value=2, max_value=64))
+    @settings(max_examples=200, deadline=None)
+    def test_more_evidence_at_same_rate_narrows_the_interval(self, n, rate,
+                                                             factor):
+        # Choose k so that k/n == (factor*k)/(factor*n) exactly: the
+        # point estimate is held fixed while the sample grows.
+        k = round(rate * n)
+        low_small, high_small = wilson_interval(k, n)
+        low_big, high_big = wilson_interval(k * factor, n * factor)
+        assert (high_big - low_big) <= (high_small - low_small) + 1e-12
+
+    @given(st.integers(min_value=1, max_value=100_000))
+    @settings(max_examples=200, deadline=None)
+    def test_symmetry_under_success_failure_exchange(self, n):
+        for k in {0, 1, n // 2, n - 1, n}:
+            if not 0 <= k <= n:
+                continue
+            low_k, high_k = wilson_interval(k, n)
+            low_c, high_c = wilson_interval(n - k, n)
+            assert low_k == pytest.approx(1.0 - high_c, abs=1e-12)
+            assert high_k == pytest.approx(1.0 - low_c, abs=1e-12)

@@ -1,0 +1,115 @@
+"""Campaign-service smoke test: boot, dedup under concurrency, shut down.
+
+Boots the real server (ephemeral port, in-process), submits the same
+spec from two concurrent clients, and asserts the service's core
+promises end to end:
+
+* exactly one computation runs (`executions == 1`);
+* both clients read byte-identical result artifacts;
+* the `submit`-style status stream reaches `done` with full batches.
+
+Exit 0 on success; any broken promise raises.  Run via ``make
+serve-smoke`` or the CI ``service`` job.
+"""
+
+import asyncio
+import json
+import sys
+import tempfile
+import threading
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.service.server import CampaignServer  # noqa: E402
+from repro.service.store import ArtifactStore  # noqa: E402
+
+SPEC = {"kind": "live", "workload": ["gcc"], "strikes": 6,
+        "instructions": 120, "structures": ["iq", "rob"]}
+
+
+def request(port, method, path, body=None, timeout=240.0):
+    import http.client
+
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=timeout)
+    try:
+        data = json.dumps(body).encode() if body is not None else None
+        conn.request(method, path, body=data)
+        response = conn.getresponse()
+        raw = response.read()
+    finally:
+        conn.close()
+    return response.status, raw
+
+
+def main():
+    root = tempfile.mkdtemp(prefix="serve-smoke-")
+    server = CampaignServer(ArtifactStore(root), workers=2)
+    loop = asyncio.new_event_loop()
+    ready = threading.Event()
+
+    def run():
+        asyncio.set_event_loop(loop)
+        loop.run_until_complete(server.start())
+        ready.set()
+        loop.run_forever()
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    assert ready.wait(15), "server failed to start"
+    port = server.port
+    print(f"server up on 127.0.0.1:{port} (store: {root})")
+
+    status, raw = request(port, "GET", "/healthz")
+    assert status == 200, (status, raw)
+
+    barrier = threading.Barrier(2)
+    outcomes = []
+
+    def submit():
+        barrier.wait()
+        outcomes.append(request(port, "POST", "/campaigns", body=SPEC))
+
+    clients = [threading.Thread(target=submit) for _ in range(2)]
+    for c in clients:
+        c.start()
+    for c in clients:
+        c.join(60)
+    assert len(outcomes) == 2, "a submission never returned"
+    codes = sorted(code for code, _ in outcomes)
+    assert codes == [200, 201], f"expected one create + one dedup: {codes}"
+    ids = {json.loads(raw)["id"] for _, raw in outcomes}
+    assert len(ids) == 1, f"identical specs got different ids: {ids}"
+    (cid,) = ids
+    print(f"two concurrent submissions coalesced into campaign {cid}")
+
+    status, raw = request(port, "GET", f"/campaigns/{cid}?wait=180")
+    payload = json.loads(raw)
+    assert status == 200 and payload["state"] == "done", payload
+    batches = payload["batches"]
+    assert batches["done"] == batches["total"] > 0, batches
+    for entry in payload["progress"]:
+        assert (entry["wilson_low"] <= entry["sdc_rate"]
+                <= entry["wilson_high"]), entry
+    print(f"campaign done: {batches['done']}/{batches['total']} batches, "
+          f"{len(payload['progress'])} structures with Wilson intervals")
+
+    status, first = request(port, "GET", f"/campaigns/{cid}/result")
+    assert status == 200, status
+    status, second = request(port, "GET", f"/campaigns/{cid}/result")
+    assert first == second and len(first) > 2, "result bytes must be stable"
+
+    status, raw = request(port, "GET", "/stats")
+    stats = json.loads(raw)
+    assert stats["executions"] == 1, stats
+    print(f"exactly one execution for two clients; "
+          f"result artifact {len(first)} bytes, byte-identical reads")
+
+    asyncio.run_coroutine_threadsafe(server.stop(), loop).result(10)
+    loop.call_soon_threadsafe(loop.stop)
+    thread.join(10)
+    print("serve-smoke OK")
+
+
+if __name__ == "__main__":
+    main()
