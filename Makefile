@@ -3,8 +3,8 @@
 PYTHON ?= python
 
 .PHONY: install test test-chaos bench bench-kernel bench-kernel-check \
-	reproduce reproduce-smoke inject-smoke serve-smoke test-service \
-	examples clean
+	reproduce reproduce-smoke inject-smoke serve-smoke \
+	serve-recovery-smoke test-service examples clean
 
 SMOKE_DIR ?= .smoke
 
@@ -90,10 +90,19 @@ inject-smoke:
 serve-smoke:
 	PYTHONPATH=src $(PYTHON) tools/serve_smoke.py
 
+# Crash-recovery drill: SIGKILL the real `repro-sim serve` process
+# after 2 committed batches, restart it on the same state dir, and
+# assert the journal replay resumed the campaign from the batch cache
+# with a byte-identical final artifact.
+serve-recovery-smoke:
+	PYTHONPATH=src $(PYTHON) tools/serve_smoke.py --kill-after 2
+
 # The service contract suite: golden response schemas, concurrency
-# dedup, chaos isolation between campaigns.
+# dedup, admission control, cancellation, chaos isolation between
+# campaigns — plus the journal/recovery suite.
 test-service:
-	PYTHONPATH=src $(PYTHON) -m pytest -x -q tests/test_service_contract.py
+	PYTHONPATH=src $(PYTHON) -m pytest -x -q tests/test_service_contract.py \
+		tests/test_service_recovery.py
 
 examples:
 	for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f || exit 1; done

@@ -428,7 +428,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
               flush=True)
 
     run_service(args.store, host=args.host, port=args.port,
-                workers=args.workers, ready=ready)
+                workers=args.workers, max_running=args.max_running,
+                max_queued=args.max_queued, ready=ready)
     return 0
 
 
@@ -451,18 +452,42 @@ def _read_spec_source(source: str) -> dict:
 
 
 def _service_request(base: str, method: str, path: str, body=None,
-                     timeout: float = 150.0):
-    """One request against the campaign service; returns (status, payload)."""
+                     timeout: float = 150.0,
+                     connect_timeout: float = None):
+    """One request against the campaign service; returns (status, payload).
+
+    A connection that cannot be established (refused, unresolvable,
+    connect timeout) raises :class:`ReproError` — ``main`` renders that
+    as a one-line ``error:`` diagnostic and exit code 2, never a
+    traceback; an unreachable server is an operational condition, not a
+    bug.  ``connect_timeout`` bounds only the connect; ``timeout``
+    governs the request/response exchange (long polls need the larger
+    bound).
+    """
     import http.client
     import json
+    import socket
     from urllib.parse import urlsplit
 
     url = urlsplit(base if "//" in base else f"http://{base}")
     if url.scheme not in ("", "http"):
         raise ReproError(f"unsupported server scheme: {url.scheme}")
     conn = http.client.HTTPConnection(url.hostname or "127.0.0.1",
-                                      url.port or 8642, timeout=timeout)
+                                      url.port or 8642,
+                                      timeout=connect_timeout or timeout)
     try:
+        try:
+            conn.connect()
+        except socket.timeout:
+            raise ReproError(
+                f"cannot reach campaign service at {base}: connect timed "
+                f"out after {connect_timeout or timeout:g}s (is "
+                f"`repro-sim serve` running?)")
+        except OSError as exc:
+            raise ReproError(f"cannot reach campaign service at {base}: "
+                             f"{exc} (is `repro-sim serve` running?)")
+        if conn.sock is not None:
+            conn.sock.settimeout(timeout)
         data = json.dumps(body).encode("utf-8") if body is not None else None
         try:
             conn.request(method, path, body=data,
@@ -470,8 +495,8 @@ def _service_request(base: str, method: str, path: str, body=None,
             response = conn.getresponse()
             raw = response.read()
         except OSError as exc:
-            raise ReproError(f"cannot reach campaign service at {base}: "
-                             f"{exc}")
+            raise ReproError(f"campaign service at {base} dropped the "
+                             f"request: {exc}")
         try:
             payload = json.loads(raw)
         except ValueError:
@@ -494,8 +519,14 @@ def _print_progress(status: dict) -> None:
 
 def _cmd_submit(args: argparse.Namespace) -> int:
     spec = _read_spec_source(args.spec)
-    status_code, status, _ = _service_request(args.server, "POST",
-                                              "/campaigns", body=spec)
+    status_code, status, _ = _service_request(
+        args.server, "POST", "/campaigns", body=spec,
+        connect_timeout=args.connect_timeout)
+    if status_code == 429:
+        raise ReproError(
+            f"submission rejected (429): {status.get('error', status)} "
+            f"[queue {status.get('queue_depth')}/{status.get('max_queued')}, "
+            f"retry after ~{status.get('retry_after')}s]")
     if status_code not in (200, 201):
         raise ReproError(f"submission rejected ({status_code}): "
                          f"{status.get('error', status)}")
@@ -504,17 +535,22 @@ def _cmd_submit(args: argparse.Namespace) -> int:
           f"({'deduplicated' if status.get('deduplicated') else 'submitted'}, "
           f"state: {status['state']})")
 
-    while status["state"] not in ("done", "degraded", "failed"):
+    while status["state"] not in ("done", "degraded", "failed", "cancelled"):
         _print_progress(status)
         version = status["version"]
         status_code, status, _ = _service_request(
             args.server, "GET",
-            f"/campaigns/{cid}?wait={args.wait}&version={version}")
+            f"/campaigns/{cid}?wait={args.wait}&version={version}",
+            connect_timeout=args.connect_timeout)
         if status_code != 200:
             raise ReproError(f"status poll failed ({status_code}): "
                              f"{status.get('error', status)}")
     _print_progress(status)
 
+    if status["state"] == "cancelled":
+        print(f"error: campaign {cid} was cancelled (resubmit to resume "
+              f"from its finished batches)", file=sys.stderr)
+        return 2
     if status["state"] == "failed":
         print(f"error: campaign failed: {status.get('error')}",
               file=sys.stderr)
@@ -533,8 +569,9 @@ def _cmd_submit(args: argparse.Namespace) -> int:
                   file=sys.stderr)
         return 3
 
-    status_code, _, raw = _service_request(args.server, "GET",
-                                           f"/campaigns/{cid}/result")
+    status_code, _, raw = _service_request(
+        args.server, "GET", f"/campaigns/{cid}/result",
+        connect_timeout=args.connect_timeout)
     if status_code != 200:
         raise ReproError(f"result fetch failed ({status_code})")
     if args.out:
@@ -543,6 +580,28 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         print(f"result ({len(raw)} bytes) -> {args.out}")
     else:
         sys.stdout.write(raw.decode("utf-8"))
+    return 0
+
+
+def _cmd_cancel(args: argparse.Namespace) -> int:
+    status_code, status, _ = _service_request(
+        args.server, "DELETE", f"/campaigns/{args.campaign}",
+        connect_timeout=args.connect_timeout)
+    if status_code == 404:
+        raise ReproError(f"unknown campaign: {args.campaign}")
+    if status_code == 409:
+        raise ReproError(f"cannot cancel ({status_code}): "
+                         f"{status.get('error', status)}")
+    if status_code != 200:
+        raise ReproError(f"cancellation failed ({status_code}): "
+                         f"{status.get('error', status)}")
+    state = status.get("state", "unknown")
+    batches = status.get("batches", {})
+    print(f"campaign {args.campaign} -> {state} "
+          f"(batches {batches.get('done', 0)}/{batches.get('total', 0)} "
+          f"committed; resubmit to resume from them)")
+    # A drain can legitimately land on done/degraded when the work beat
+    # the cancellation; either way the service answered authoritatively.
     return 0
 
 
@@ -655,14 +714,22 @@ def build_parser() -> argparse.ArgumentParser:
 
     serve = sub.add_parser("serve",
                            help="run the asyncio campaign service")
-    serve.add_argument("--store", default=".repro-service", metavar="DIR",
-                       help="artifact store root (shared cache, final "
-                            "artifacts, campaign manifests)")
+    serve.add_argument("--store", "--state-dir", dest="store",
+                       default=".repro-service", metavar="DIR",
+                       help="service state root (shared cache, final "
+                            "artifacts, campaign manifests, and the "
+                            "crash-recovery service journal)")
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=_non_negative_int, default=8642,
                        help="TCP port (0 picks an ephemeral port)")
     serve.add_argument("--workers", type=_positive_int, default=2,
                        help="worker processes per campaign pool")
+    serve.add_argument("--max-running", type=_positive_int, default=4,
+                       help="campaigns executing concurrently; the rest "
+                            "queue FIFO within priority")
+    serve.add_argument("--max-queued", type=_non_negative_int, default=64,
+                       help="admission queue bound; submissions beyond it "
+                            "get 429 + Retry-After")
 
     submit = sub.add_parser("submit",
                             help="submit a campaign spec to a running "
@@ -673,9 +740,24 @@ def build_parser() -> argparse.ArgumentParser:
                         help="service base URL")
     submit.add_argument("--wait", type=_positive_int, default=60,
                         help="long-poll seconds per status request")
+    submit.add_argument("--connect-timeout", type=_positive_float,
+                        default=5.0,
+                        help="seconds to wait for the TCP connect before "
+                             "diagnosing the service as unreachable")
     submit.add_argument("--out", default=None, metavar="PATH",
                         help="write the result artifact here instead of "
                              "stdout")
+
+    cancel = sub.add_parser("cancel",
+                            help="cancel a queued or running campaign "
+                                 "(finished batches stay cached)")
+    cancel.add_argument("campaign", help="campaign id to cancel")
+    cancel.add_argument("--server", default="http://127.0.0.1:8642",
+                        help="service base URL")
+    cancel.add_argument("--connect-timeout", type=_positive_float,
+                        default=5.0,
+                        help="seconds to wait for the TCP connect before "
+                             "diagnosing the service as unreachable")
 
     fit = sub.add_parser("fit", help="FIT/MTTF estimate for a workload")
     fit.add_argument("workload", nargs="+")
@@ -697,6 +779,7 @@ _COMMANDS = {
     "reproduce": _cmd_reproduce,
     "serve": _cmd_serve,
     "submit": _cmd_submit,
+    "cancel": _cmd_cancel,
 }
 
 

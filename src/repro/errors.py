@@ -81,6 +81,40 @@ class ExecutionFailed(ReproError):
         super().__init__(message)
 
 
+class CampaignCancelled(ReproError):
+    """Supervised execution stopped because cancellation was requested.
+
+    Raised by :class:`repro.resilience.Supervisor` out of :meth:`run`
+    after a graceful drain: every future that finished during the grace
+    period has been committed (and journaled), every other in-flight job
+    has been reclaimed by tearing the pool down, and nothing new was
+    submitted.  ``committed`` counts payloads committed by the drain
+    itself; ``reclaimed`` counts in-flight jobs abandoned un-run.  The
+    campaign service maps this onto the ``cancelled`` terminal state.
+    """
+
+    def __init__(self, message: str, committed: int = 0,
+                 reclaimed: int = 0) -> None:
+        self.committed = committed
+        self.reclaimed = reclaimed
+        super().__init__(message)
+
+
+class ArtifactIntegrityError(ReproError):
+    """A stored artifact's bytes no longer re-hash to their recorded
+    checksum (bit rot, truncation, or tampering on disk).
+
+    Raised by :class:`repro.service.store.ArtifactStore` when asked to
+    *serve* such an artifact — a result endpoint must fail loudly (HTTP
+    500 naming the digest) rather than hand a client corrupt science.
+    """
+
+    def __init__(self, digest: str, detail: str) -> None:
+        self.digest = digest
+        super().__init__(
+            f"artifact {digest} failed integrity verification: {detail}")
+
+
 class InvariantViolation(ReproError):
     """A runtime conservation-law audit failed (see :mod:`repro.audit`).
 

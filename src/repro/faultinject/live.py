@@ -441,6 +441,12 @@ class LiveCampaignResult:
     structures: Dict[Structure, StructureCampaign] = field(default_factory=dict)
     records: List[LiveStrikeRecord] = field(default_factory=list)
     forced: Dict[str, LiveStrikeRecord] = field(default_factory=dict)
+    batches_cached: int = 0
+    """Batches answered by the per-batch cache (recovery observability:
+    a resumed campaign must show its finished batches here, recomputing
+    none of them)."""
+    batches_executed: int = 0
+    """Batches actually simulated in this run."""
 
     def interval(self, structure: Structure,
                  z: float = 1.959963984540054) -> Tuple[float, float]:
@@ -742,11 +748,15 @@ def run_live_campaign(workload: Union[WorkloadMix, Sequence[str]],
             on_batch(job, {"records": list(entry["records"])})
         return True
 
+    cached = 0
+    executed = 0
     if supervisor is None and jobs == 1:
         for job in jobs_list:
             if already_done(job):
+                cached += 1
                 continue
             commit(job, job.run())
+            executed += 1
     else:
         if supervisor is None:
             from repro.resilience import RetryPolicy, Supervisor
@@ -754,11 +764,16 @@ def run_live_campaign(workload: Union[WorkloadMix, Sequence[str]],
             supervisor = Supervisor(
                 max_workers=jobs,
                 policy=RetryPolicy(retries=1, max_failures=0))
-        supervisor.run(jobs_list, commit=commit, already_done=already_done)
+        outcome = supervisor.run(jobs_list, commit=commit,
+                                 already_done=already_done)
+        cached = outcome.skipped
+        executed = outcome.executed
 
     result = LiveCampaignResult(workload=name, cycles=golden.cycles,
                                 injections_per_structure=injections,
-                                protection=protection)
+                                protection=protection,
+                                batches_cached=cached,
+                                batches_executed=executed)
     result.records = [by_key[key] for key in sorted(by_key)]
     for structure in structures:
         campaign = StructureCampaign(

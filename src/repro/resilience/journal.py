@@ -21,11 +21,43 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Dict, Union
+from typing import Dict, Iterator, Union
 
 from repro.errors import ReproError
 
 JOURNAL_SCHEMA_VERSION = 1
+
+
+def replay_jsonl(path: Path, max_schema: int, what: str,
+                 remedy: str = "remove the journal (recomputing from the "
+                               "result cache) or upgrade") -> Iterator[dict]:
+    """Yield the parseable dict entries of an append-only JSONL journal.
+
+    This is the one tolerant-replay idiom every journal in the framework
+    shares (the per-job checkpoint journal here, the campaign service's
+    lifecycle journal): blank lines and lines that fail to parse are
+    dropped — a truncated final line is the signature of a crash
+    mid-write and loses at most one event — but an entry stamped with a
+    *newer* ``schema`` than ``max_schema`` refuses the whole replay with
+    a diagnostic, because events whose semantics this build cannot
+    interpret must never silently mix with fresh state.
+    """
+    for line in path.read_text().splitlines():
+        if not line.strip():
+            continue
+        try:
+            entry = json.loads(line)
+        except ValueError:
+            continue  # truncated by a crash mid-write; drop it
+        if not isinstance(entry, dict):
+            continue
+        schema = entry.get("schema")
+        if isinstance(schema, int) and schema > max_schema:
+            raise ReproError(
+                f"{what} {path} contains schema {schema} entries but this "
+                f"build reads schema <= {max_schema}; refusing to replay — "
+                f"{remedy}")
+        yield entry
 
 
 class CheckpointJournal:
@@ -48,28 +80,10 @@ class CheckpointJournal:
             self.path.write_text("")
 
     def _replay(self) -> None:
-        for line in self.path.read_text().splitlines():
-            if not line.strip():
-                continue
-            try:
-                entry = json.loads(line)
-            except ValueError:
-                continue  # truncated by a crash mid-write; drop it
-            if not isinstance(entry, dict):
-                continue
-            schema = entry.get("schema")
-            if isinstance(schema, int) and schema > JOURNAL_SCHEMA_VERSION:
-                # A newer build wrote this journal.  Its "done" semantics
-                # may not match ours, and treating them as current-schema
-                # completions would silently mix two generations of
-                # results in one campaign — refuse with a diagnostic
-                # instead (rerun without --resume, or upgrade).
-                raise ReproError(
-                    f"checkpoint journal {self.path} contains schema "
-                    f"{schema} entries but this build reads schema "
-                    f"<= {JOURNAL_SCHEMA_VERSION}; refusing to resume — "
-                    f"rerun without --resume (recomputing from the result "
-                    f"cache) or upgrade")
+        for entry in replay_jsonl(
+                self.path, JOURNAL_SCHEMA_VERSION, "checkpoint journal",
+                remedy="rerun without --resume (recomputing from the "
+                       "result cache) or upgrade"):
             digest = entry.get("digest")
             if not isinstance(digest, str):
                 continue

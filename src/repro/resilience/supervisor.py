@@ -41,18 +41,25 @@ from __future__ import annotations
 
 import hashlib
 import os
+import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional
 
-from repro.errors import ConfigError, ExecutionFailed
+from repro.errors import CampaignCancelled, ConfigError, ExecutionFailed
 from repro.resilience.chaos import ChaosSpec, misbehave
 
 #: Grace period (seconds) an abort grants in-flight jobs to finish and
 #: commit before the pool is torn down, when no job timeout bounds them.
 DEFAULT_ABORT_GRACE = 30.0
+
+#: Upper bound on any single blocking wait inside the run loop, so a
+#: :meth:`Supervisor.request_stop` from another thread is noticed within
+#: this bound even when no timeout or backoff horizon would otherwise
+#: wake the loop.
+STOP_POLL_SECONDS = 0.5
 
 
 @dataclass(frozen=True)
@@ -211,8 +218,28 @@ class Supervisor:
         self.timeouts = 0
         self.crashes = 0
         self.retried = 0
+        self._stop = threading.Event()
         self._clock = time.monotonic
         self._sleep = time.sleep
+
+    # -- cancellation ----------------------------------------------------------------
+
+    def request_stop(self) -> None:
+        """Ask a running batch to drain and stop (thread-safe, idempotent).
+
+        The run loop notices within :data:`STOP_POLL_SECONDS`, stops
+        submitting queued work, grants in-flight jobs a grace period
+        (``job_timeout`` when set, else :data:`DEFAULT_ABORT_GRACE`) to
+        finish and commit, reclaims whatever is still running by tearing
+        the pool down — the same reclamation path a hung worker takes —
+        and raises :class:`~repro.errors.CampaignCancelled`.  Finished
+        work is never discarded and nothing is charged a retry attempt.
+        """
+        self._stop.set()
+
+    @property
+    def stop_requested(self) -> bool:
+        return self._stop.is_set()
 
     # -- public entry point --------------------------------------------------------
 
@@ -340,8 +367,39 @@ class Supervisor:
                 f"(failed: {', '.join(report.labels())})",
                 report=report)
 
+        def drain_cancel() -> None:
+            """Stop requested: commit what finished, reclaim the rest.
+
+            The mirror image of :func:`abort`, but nothing is a failure:
+            futures that completed inside the grace period are committed
+            (and journaled) exactly as if the run had continued, the
+            still-running remainder is reclaimed by tearing the pool
+            down (the hung-worker path), and no job is charged an
+            attempt — a cancelled campaign's jobs must resume cleanly
+            from the cache on resubmission.
+            """
+            grace = self.policy.job_timeout or DEFAULT_ABORT_GRACE
+            done, _not_done = wait(set(futures), timeout=grace)
+            committed = 0
+            for fut in done:
+                state = futures.pop(fut)
+                deadlines.pop(fut, None)
+                if collect(fut, state) is None:
+                    committed += 1
+            reclaimed = len(futures)
+            futures.clear()
+            deadlines.clear()
+            self._kill_pool(pool)
+            raise CampaignCancelled(
+                f"supervised execution cancelled: {committed} in-flight "
+                f"job(s) committed during drain, {reclaimed} reclaimed, "
+                f"{len(waiting)} never submitted",
+                committed=committed, reclaimed=reclaimed)
+
         try:
             while waiting or futures:
+                if self._stop.is_set():
+                    drain_cancel()
                 now = self._clock()
                 # Submit every job whose backoff has elapsed.
                 rebuild = False
@@ -366,19 +424,19 @@ class Supervisor:
                     continue
                 if not futures:
                     next_ready = min(s.ready_at for s in waiting.values())
-                    self._sleep(max(0.0, next_ready - self._clock()))
+                    # Bounded naps so a stop request interrupts a backoff.
+                    self._sleep(min(STOP_POLL_SECONDS,
+                                    max(0.0, next_ready - self._clock())))
                     continue
 
-                timeout = None
                 now = self._clock()
-                horizons = []
+                horizons = [STOP_POLL_SECONDS]
                 if deadlines:
                     horizons.append(min(deadlines.values()) - now)
                 if waiting:
                     horizons.append(min(s.ready_at
                                         for s in waiting.values()) - now)
-                if horizons:
-                    timeout = max(0.05, min(horizons))
+                timeout = max(0.05, min(horizons))
                 done, _ = wait(set(futures), timeout=timeout,
                                return_when=FIRST_COMPLETED)
 

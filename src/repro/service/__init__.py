@@ -23,9 +23,29 @@ Two clients submitting the identical spec trigger exactly one
 computation and receive byte-identical final artefacts; a crashing
 worker degrades at most its own campaign (per-campaign pools and
 degradation budgets), never its neighbours.
+
+Durability (:mod:`repro.service.journal`): every campaign lifecycle
+transition is journaled write-ahead; a killed service replays the
+journal at startup, re-admits interrupted campaigns, and resumes them
+through the per-batch cache — finished batches are never recomputed and
+recovered artefacts are byte-identical to an uninterrupted run's.
+Admission control bounds the queue (429 + ``Retry-After`` beyond it) and
+``DELETE /campaigns/{id}`` cancels with a graceful supervisor drain.
 """
 
-from repro.service.scheduler import CampaignScheduler
+from repro.service.journal import (
+    SERVICE_JOURNAL_NAME,
+    SERVICE_JOURNAL_VERSION,
+    JournaledCampaign,
+    ServiceJournal,
+)
+from repro.service.scheduler import (
+    DEFAULT_MAX_QUEUED,
+    DEFAULT_MAX_RUNNING,
+    CampaignScheduler,
+    CancelConflict,
+    QueueFull,
+)
 from repro.service.server import API_SCHEMA_VERSION, CampaignServer, run_service
 from repro.service.specs import (
     SPEC_SCHEMA_VERSION,
@@ -42,7 +62,15 @@ __all__ = [
     "CampaignScheduler",
     "CampaignServer",
     "CampaignSpec",
+    "CancelConflict",
+    "DEFAULT_MAX_QUEUED",
+    "DEFAULT_MAX_RUNNING",
+    "JournaledCampaign",
+    "QueueFull",
+    "SERVICE_JOURNAL_NAME",
+    "SERVICE_JOURNAL_VERSION",
     "SPEC_SCHEMA_VERSION",
+    "ServiceJournal",
     "SpecError",
     "parse_spec",
     "run_service",

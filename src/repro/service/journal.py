@@ -1,0 +1,175 @@
+"""The service's write-ahead campaign journal: crash-safe lifecycle state.
+
+Every campaign lifecycle transition the scheduler makes is recorded as
+one JSONL line *before* the transition takes externally visible effect
+(``submitted`` → ``admitted`` → ``running`` → ``done`` / ``degraded`` /
+``failed`` / ``cancelled``), so a service process killed at any instant
+leaves behind an exact record of which campaigns it owed work to.  On
+restart, :meth:`ServiceJournal.replay` folds the log into one record per
+campaign; campaigns whose last journaled state is non-terminal are
+re-admitted by the scheduler and resumed through the per-batch content
+cache — finished batches are never recomputed, so a recovered campaign's
+artifact is byte-identical to an uninterrupted run's.
+
+The file format follows the PR-3 checkpoint-journal discipline exactly
+(:mod:`repro.resilience.journal`): schema-versioned entries, one
+open-append-close write per event so every line is on disk when the
+recording call returns, replay tolerant of a truncated final line (a
+crash mid-write loses at most one event), and refusal — with a
+diagnostic — of entries stamped by a newer schema.
+
+``submitted`` entries carry the campaign's *request payload* (the exact
+JSON a client could POST), so replay re-validates through the ordinary
+spec parser instead of trusting the journal, plus the spec's scheduling
+priority and a monotonically increasing submission sequence number —
+together these reconstruct the admission queue in FIFO-within-priority
+order.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.resilience.journal import replay_jsonl
+
+#: Version of the service journal's entry layout.
+SERVICE_JOURNAL_VERSION = 1
+
+#: The journal's filename under the service state directory.
+SERVICE_JOURNAL_NAME = "service-journal.jsonl"
+
+#: Campaign states that end a lifecycle (no recovery owed).
+TERMINAL_EVENTS = ("done", "degraded", "failed", "cancelled")
+
+
+@dataclass
+class JournaledCampaign:
+    """One campaign's folded journal state after replay."""
+
+    campaign_id: str
+    state: str = "submitted"
+    request: Optional[dict] = None
+    priority: int = 0
+    seq: int = 0
+    submissions: int = 1
+    events: list = field(default_factory=list)
+
+    @property
+    def interrupted(self) -> bool:
+        """Was this campaign in flight when the process died?"""
+        return self.state not in TERMINAL_EVENTS and self.request is not None
+
+
+class ServiceJournal:
+    """Append-only lifecycle journal for one campaign-service state dir."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._seq = 0
+
+    # -- recording -------------------------------------------------------------------
+
+    def record(self, campaign_id: str, event: str,
+               request: Optional[dict] = None,
+               priority: int = 0) -> None:
+        """Append one lifecycle transition; durable when this returns."""
+        entry: Dict[str, object] = {
+            "schema": SERVICE_JOURNAL_VERSION,
+            "event": event,
+            "id": campaign_id,
+        }
+        if request is not None:
+            self._seq += 1
+            entry["request"] = request
+            entry["priority"] = priority
+            entry["seq"] = self._seq
+        blob = json.dumps(entry, sort_keys=True) + "\n"
+        # One O_APPEND write per event: concurrent recorders (there is
+        # one, behind the scheduler lock, but the guarantee is cheap)
+        # never interleave partial lines, and a crash can truncate at
+        # most the final line — exactly what replay tolerates.
+        with self.path.open("a") as fh:
+            fh.write(blob)
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    # -- replay ----------------------------------------------------------------------
+
+    def replay(self) -> Dict[str, JournaledCampaign]:
+        """Fold the journal into per-campaign records, in submission order.
+
+        Tolerates a truncated final line; refuses newer-schema entries
+        with a diagnostic (see
+        :func:`repro.resilience.journal.replay_jsonl`).
+        """
+        records: Dict[str, JournaledCampaign] = {}
+        if not self.path.exists():
+            return records
+        for entry in replay_jsonl(
+                self.path, SERVICE_JOURNAL_VERSION, "service journal",
+                remedy=f"move {SERVICE_JOURNAL_NAME} aside (campaigns "
+                       f"resume from the result cache on resubmission) "
+                       f"or upgrade"):
+            cid = entry.get("id")
+            event = entry.get("event")
+            if not isinstance(cid, str) or not isinstance(event, str):
+                continue
+            record = records.get(cid)
+            if record is None:
+                record = records[cid] = JournaledCampaign(campaign_id=cid)
+            record.events.append(event)
+            if entry.get("request") is not None:
+                if record.request is not None:
+                    # A resubmission of a failed/cancelled campaign:
+                    # same id, fresh lifecycle.
+                    record.submissions += 1
+                record.request = entry["request"]
+                record.priority = int(entry.get("priority", 0))
+                record.seq = int(entry.get("seq", record.seq))
+                self._seq = max(self._seq, record.seq)
+            record.state = event
+        return records
+
+    def interrupted(self) -> Dict[str, JournaledCampaign]:
+        """The campaigns a crashed process still owed work to, by id."""
+        return {cid: record for cid, record in self.replay().items()
+                if record.interrupted}
+
+    def compact(self) -> None:
+        """Rewrite the journal with one line per campaign (atomic).
+
+        Run at startup after recovery decisions are made: the folded
+        state is all future replays can use, so dropping superseded
+        transitions bounds journal growth across restart cycles without
+        losing recovery information.  The rewrite goes through a temp
+        file and :func:`os.replace`, so a crash mid-compaction leaves
+        either the old journal or the new one, never a mix.
+        """
+        records = self.replay()
+        tmp = self.path.with_name(f"{self.path.name}.tmp{os.getpid()}")
+        try:
+            with tmp.open("w") as fh:
+                for record in sorted(records.values(), key=lambda r: r.seq):
+                    entry: Dict[str, object] = {
+                        "schema": SERVICE_JOURNAL_VERSION,
+                        "event": record.state,
+                        "id": record.campaign_id,
+                    }
+                    if record.request is not None:
+                        entry["request"] = record.request
+                        entry["priority"] = record.priority
+                        entry["seq"] = record.seq
+                    fh.write(json.dumps(entry, sort_keys=True) + "\n")
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, self.path)
+        finally:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass

@@ -8,6 +8,33 @@ degrade *that campaign only* — its neighbours' pools never see the
 broken executor.  The spec's ``budget`` is the per-campaign degradation
 budget (PR-3 semantics: fail past it, degrade within it).
 
+**Admission control.** At most ``max_running`` campaigns execute
+concurrently; beyond that, submissions wait in a bounded queue
+(``max_queued``) ordered FIFO within priority (spec ``priority`` 0–9,
+higher admits first, submission order breaks ties).  A submission that
+finds the queue full raises :class:`QueueFull`, which the server renders
+as ``429`` with a ``Retry-After`` hint and a machine-readable
+queue-depth body — backpressure is part of the wire contract, not an
+accident of load.  Queued campaigns report their ``queue_position`` so
+clients can back off intelligently.
+
+**Durability.** Every lifecycle transition (``submitted`` → ``admitted``
+→ ``running`` → ``done``/``degraded``/``failed``/``cancelled``) is
+journaled write-ahead to ``service-journal.jsonl``
+(:class:`~repro.service.journal.ServiceJournal`).  On restart,
+:meth:`CampaignScheduler.recover` replays the journal and re-admits
+every campaign the dead process still owed work to; execution resumes
+through the per-batch content cache, so finished batches are served —
+never recomputed — and the recovered artifact is byte-identical to an
+uninterrupted run's.
+
+**Cancellation.** :meth:`cancel` removes a queued campaign outright, or
+asks a running campaign's supervisor to drain: finished in-flight
+batches commit to the cache, the rest are reclaimed (the hung-worker
+pool-teardown path), the transition is journaled, and no partial result
+is ever content-addressed.  A cancelled campaign is resubmittable; the
+retry resumes from the committed batches.
+
 Deduplication happens at two layers, both keyed by the spec's content
 digest (:meth:`~repro.service.specs.CampaignSpec.digest`):
 
@@ -20,9 +47,9 @@ digest (:meth:`~repro.service.specs.CampaignSpec.digest`):
 
 Either way, every client of one digest reads the same artifact file —
 byte-identical results by construction.  A campaign that previously
-*failed* or *degraded* is not dedup'd: resubmitting it is an explicit
-request to try again (journal-resume semantics — finished batches are
-still in the shared cache, so only lost work re-runs).
+*failed*, *degraded* or was *cancelled* is not dedup'd: resubmitting it
+is an explicit request to try again (journal-resume semantics — finished
+batches are still in the shared cache, so only lost work re-runs).
 
 Progress: live campaigns stream per-batch; as each
 :class:`~repro.faultinject.LiveBatchJob` lands, the per-structure strike
@@ -38,18 +65,64 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.config import SimConfig
-from repro.errors import ExecutionFailed, MissingResultError, ReproError
+from repro.errors import (
+    CampaignCancelled,
+    ExecutionFailed,
+    MissingResultError,
+    ReproError,
+)
 from repro.metrics.reliability import wilson_interval
 from repro.resilience import RetryPolicy, Supervisor
-from repro.service.specs import CampaignSpec, parse_spec
+from repro.service.journal import ServiceJournal
+from repro.service.specs import CampaignSpec, SpecError, parse_spec
 from repro.service.store import ArtifactStore
 
 #: Campaign lifecycle states.
-STATES = ("queued", "running", "done", "degraded", "failed")
-TERMINAL_STATES = ("done", "degraded", "failed")
+STATES = ("queued", "running", "done", "degraded", "failed", "cancelled")
+TERMINAL_STATES = ("done", "degraded", "failed", "cancelled")
+
+#: Terminal states a resubmission *retries* instead of joining: the
+#: previous attempt did not answer the spec.
+RETRYABLE_STATES = ("failed", "degraded", "cancelled")
+
+#: Default admission limits: how many campaigns may execute at once, and
+#: how many may wait behind them before submissions bounce with 429.
+DEFAULT_MAX_RUNNING = 4
+DEFAULT_MAX_QUEUED = 64
+
+#: Ceiling on the Retry-After backpressure hint (seconds).
+MAX_RETRY_AFTER = 60
 
 #: Outcomes counted as SDC for the streaming Wilson interval.
 _SDC = "SDC"
+
+
+class QueueFull(ReproError):
+    """The admission queue is at ``max_queued``; rendered as HTTP 429.
+
+    Carries the machine-readable backpressure facts the 429 body and the
+    ``Retry-After`` header are built from.
+    """
+
+    def __init__(self, queue_depth: int, max_queued: int,
+                 retry_after: int) -> None:
+        self.queue_depth = queue_depth
+        self.max_queued = max_queued
+        self.retry_after = retry_after
+        super().__init__(
+            f"admission queue full: {queue_depth} campaign(s) already "
+            f"queued (max_queued={max_queued}); retry after "
+            f"~{retry_after}s")
+
+
+class CancelConflict(ReproError):
+    """Cancellation hit a campaign already in a terminal state (409)."""
+
+    def __init__(self, campaign_id: str, state: str) -> None:
+        self.state = state
+        super().__init__(
+            f"campaign {campaign_id} is already in terminal state "
+            f"{state!r}; nothing to cancel")
 
 
 @dataclass
@@ -62,8 +135,12 @@ class _Campaign:
     state: str = "queued"
     submissions: int = 1
     version: int = 0
+    priority: int = 0
+    seq: int = 0
     batches_total: int = 0
     batches_done: int = 0
+    batches_cached: int = 0
+    cancel_requested: bool = False
     #: structure value -> {"strikes": n, "sdc": k} accumulated so far.
     progress: Dict[str, Dict[str, int]] = field(default_factory=dict)
     failures: List[Dict[str, object]] = field(default_factory=list)
@@ -76,68 +153,232 @@ class _Campaign:
 class CampaignScheduler:
     """Shards campaign specs into supervised jobs and tracks their state."""
 
-    def __init__(self, store: ArtifactStore, workers: int = 2) -> None:
+    def __init__(self, store: ArtifactStore, workers: int = 2,
+                 max_running: int = DEFAULT_MAX_RUNNING,
+                 max_queued: int = DEFAULT_MAX_QUEUED,
+                 journal: Optional[ServiceJournal] = None) -> None:
         if workers < 1:
             raise ReproError("workers must be >= 1")
+        if max_running < 1:
+            raise ReproError("max_running must be >= 1")
+        if max_queued < 0:
+            raise ReproError("max_queued must be >= 0")
         self.store = store
         self.workers = workers
+        self.max_running = max_running
+        self.max_queued = max_queued
+        self.journal = journal
         self._lock = threading.Condition()
         self._campaigns: Dict[str, _Campaign] = {}
         self._threads: Dict[str, threading.Thread] = {}
+        self._supervisors: Dict[str, Supervisor] = {}
+        self._queue: List[str] = []
+        self._running: set = set()
+        self._seq = 0
+        self._recovering = False
         #: Campaigns actually computed (dedup observability: two identical
         #: concurrent submissions must leave this at one).
         self.executions = 0
         self.store_hits = 0
+        #: Campaigns re-admitted from the journal at startup.
+        self.recovered = 0
+
+    # -- durability ------------------------------------------------------------------
+
+    def _journal(self, campaign: _Campaign, event: str,
+                 request: Optional[dict] = None) -> None:
+        if self.journal is not None:
+            self.journal.record(campaign.id, event, request=request,
+                                priority=campaign.priority)
+
+    def recover(self) -> int:
+        """Replay the service journal; re-admit interrupted campaigns.
+
+        Call once at startup, before accepting connections.  Each
+        campaign whose last journaled state is non-terminal is fed back
+        through :meth:`submit` — the same validation and admission path
+        a fresh client takes — in its original FIFO-within-priority
+        order.  The queue bound is waived during recovery: a recovered
+        backlog is an existing obligation, not new load.  Returns the
+        number of campaigns re-admitted.
+        """
+        if self.journal is None:
+            return 0
+        interrupted = self.journal.interrupted()
+        # Bound journal growth across restart cycles before appending
+        # this life's transitions.
+        self.journal.compact()
+        recovered = 0
+        self._recovering = True
+        try:
+            for record in sorted(interrupted.values(),
+                                 key=lambda r: (-r.priority, r.seq)):
+                try:
+                    self.submit(record.request)
+                except SpecError:
+                    # A journal written by an older build may carry a
+                    # request this build no longer accepts; dropping it
+                    # is the only honest move (the batch cache keeps its
+                    # finished work for a manual resubmission).
+                    continue
+                recovered += 1
+        finally:
+            self._recovering = False
+        self.recovered = recovered
+        return recovered
 
     # -- submission ----------------------------------------------------------------
 
     def submit(self, payload: object) -> Tuple[Dict[str, object], bool]:
         """Validate and enqueue a spec; returns (status, deduplicated).
 
-        Raises :class:`~repro.service.specs.SpecError` on an invalid spec.
+        Raises :class:`~repro.service.specs.SpecError` on an invalid
+        spec and :class:`QueueFull` when admission control refuses the
+        load (the server renders that as 429 + Retry-After).
         """
         spec = parse_spec(payload)
         digest = spec.digest()
         cid = spec.campaign_id()
         with self._lock:
             existing = self._campaigns.get(cid)
-            if existing is not None and existing.state not in ("failed",
-                                                               "degraded"):
+            if (existing is not None
+                    and existing.state not in RETRYABLE_STATES):
                 existing.submissions += 1
                 existing.version += 1
                 self._lock.notify_all()
                 return self._snapshot(existing), True
+            if existing is None and self.store.read_artifact(digest) \
+                    is not None:
+                # Finished in a previous service life: serve from store.
+                campaign = _Campaign(spec=spec, id=cid, digest=digest,
+                                     state="done", from_store=True,
+                                     priority=spec.priority)
+                campaign.finished = campaign.created
+                self._campaigns[cid] = campaign
+                self.store_hits += 1
+                self._write_manifest(campaign)
+                return self._snapshot(campaign), True
+
+            # A fresh campaign (or an explicit retry of a failed /
+            # degraded / cancelled one) needs a running slot or a queue
+            # place — check *before* mutating anything.
+            admit_now = len(self._running) < self.max_running
+            if (not admit_now and len(self._queue) >= self.max_queued
+                    and not self._recovering):
+                raise QueueFull(queue_depth=len(self._queue),
+                                max_queued=self.max_queued,
+                                retry_after=self._retry_after_locked())
+
             if existing is not None:
-                # A failed/degraded campaign: resubmission retries it.
+                # A failed/degraded/cancelled campaign: resubmission
+                # retries it (finished batches resume from the cache).
                 existing.submissions += 1
                 existing.state = "queued"
                 existing.error = None
                 existing.failures = []
                 existing.finished = None
                 existing.batches_done = 0
+                existing.batches_cached = 0
                 existing.progress = {}
+                existing.cancel_requested = False
+                existing.spec = spec
+                existing.priority = spec.priority
                 existing.version += 1
                 campaign = existing
-                dedup = False
-            elif self.store.read_artifact(digest) is not None:
-                # Finished in a previous service life: serve from store.
-                campaign = _Campaign(spec=spec, id=cid, digest=digest,
-                                     state="done", from_store=True)
-                campaign.finished = campaign.created
-                self._campaigns[cid] = campaign
-                self.store_hits += 1
-                self._write_manifest(campaign)
-                return self._snapshot(campaign), True
             else:
-                campaign = _Campaign(spec=spec, id=cid, digest=digest)
+                campaign = _Campaign(spec=spec, id=cid, digest=digest,
+                                     priority=spec.priority)
                 self._campaigns[cid] = campaign
-                dedup = False
-            self.executions += 1
-            thread = threading.Thread(target=self._execute, args=(campaign,),
-                                      name=f"campaign-{cid}", daemon=True)
-            self._threads[cid] = thread
-            thread.start()
-            return self._snapshot(campaign), dedup
+            self._seq += 1
+            campaign.seq = self._seq
+            self._journal(campaign, "submitted", request=spec.to_request())
+            if admit_now:
+                self._start_locked(campaign)
+            else:
+                self._queue.append(cid)
+            self._lock.notify_all()
+            return self._snapshot(campaign), False
+
+    def _retry_after_locked(self) -> int:
+        """A deterministic backpressure hint: scale with the backlog."""
+        backlog = len(self._queue) + len(self._running)
+        return max(1, min(MAX_RETRY_AFTER, 2 * backlog))
+
+    # -- admission -----------------------------------------------------------------
+
+    def _start_locked(self, campaign: _Campaign) -> None:
+        """Admit one campaign: journal, count, launch its thread."""
+        self._running.add(campaign.id)
+        self.executions += 1
+        self._journal(campaign, "admitted")
+        campaign.version += 1
+        thread = threading.Thread(target=self._execute, args=(campaign,),
+                                  name=f"campaign-{campaign.id}",
+                                  daemon=True)
+        self._threads[campaign.id] = thread
+        thread.start()
+
+    def _admit_locked(self) -> None:
+        """Fill free running slots from the queue (FIFO within priority)."""
+        while self._queue and len(self._running) < self.max_running:
+            cid = min(self._queue,
+                      key=lambda c: (-self._campaigns[c].priority,
+                                     self._campaigns[c].seq))
+            self._queue.remove(cid)
+            self._start_locked(self._campaigns[cid])
+        self._lock.notify_all()
+
+    # -- cancellation ---------------------------------------------------------------
+
+    def cancel(self, campaign_id: str) -> Optional[Dict[str, object]]:
+        """Request cancellation; returns a snapshot (None = unknown id).
+
+        A queued campaign is removed and terminal immediately.  A
+        running campaign's supervisor is asked to drain — the caller
+        should :meth:`wait` for the terminal state, which arrives within
+        the campaign's job-timeout bound (finished in-flight batches
+        commit to the cache first).  Cancelling an already-``cancelled``
+        campaign is idempotent; cancelling any other terminal state
+        raises :class:`CancelConflict` (409 — there is nothing left to
+        stop, and the artifact's existence must not be disguised).
+        """
+        with self._lock:
+            campaign = self._campaigns.get(campaign_id)
+            if campaign is None:
+                return None
+            if campaign.state == "cancelled":
+                return self._snapshot(campaign)
+            if campaign.state in TERMINAL_STATES:
+                raise CancelConflict(campaign_id, campaign.state)
+            campaign.cancel_requested = True
+            if campaign.id in self._queue:
+                # Never admitted: no pool to drain, terminal right here.
+                self._queue.remove(campaign.id)
+                self._journal(campaign, "cancelled")
+                campaign.state = "cancelled"
+                campaign.finished = time.time()
+                campaign.version += 1
+                self._write_manifest(campaign)
+                self._lock.notify_all()
+                return self._snapshot(campaign)
+            supervisor = self._supervisors.get(campaign_id)
+            if supervisor is not None:
+                supervisor.request_stop()
+            campaign.version += 1
+            self._lock.notify_all()
+            return self._snapshot(campaign)
+
+    def cancel_grace(self, campaign_id: str) -> float:
+        """The drain grace a cancellation of this campaign is bounded by
+        (its ``job_timeout`` budget, or the supervisor's default)."""
+        from repro.resilience.supervisor import DEFAULT_ABORT_GRACE
+
+        with self._lock:
+            campaign = self._campaigns.get(campaign_id)
+            if campaign is None:
+                return 0.0
+            return float(campaign.spec.budget.job_timeout
+                         or DEFAULT_ABORT_GRACE)
 
     # -- queries -------------------------------------------------------------------
 
@@ -162,22 +403,30 @@ class CampaignScheduler:
             return {"campaigns": len(self._campaigns),
                     "executions": self.executions,
                     "store_hits": self.store_hits,
+                    "recovered": self.recovered,
+                    "queue": {"depth": len(self._queue),
+                              "running": len(self._running),
+                              "max_queued": self.max_queued,
+                              "max_running": self.max_running},
                     "states": states}
 
     def result_bytes(self, campaign_id: str) -> Optional[bytes]:
         """The final artifact's exact bytes, or None if not finished.
 
-        Raises ``KeyError`` for an unknown campaign.  Degraded and failed
-        campaigns have no artifact (a partial result must never be
-        content-addressed as if it answered the spec); their particulars
-        live in the status payload and the manifest.
+        Raises ``KeyError`` for an unknown campaign and
+        :class:`~repro.errors.ArtifactIntegrityError` (rendered as 500)
+        if the stored bytes no longer re-hash to their recorded
+        checksum.  Degraded, failed and cancelled campaigns have no
+        artifact (a partial result must never be content-addressed as if
+        it answered the spec); their particulars live in the status
+        payload and the manifest.
         """
         with self._lock:
             campaign = self._campaigns[campaign_id]
             if campaign.state != "done":
                 return None
             digest = campaign.digest
-        return self.store.read_artifact_bytes(digest)
+        return self.store.verified_artifact_bytes(digest)
 
     def wait(self, campaign_id: str, timeout: float = 60.0,
              version: Optional[int] = None) -> Optional[Dict[str, object]]:
@@ -216,6 +465,16 @@ class CampaignScheduler:
                 "policy": c.spec.policy,
                 "submissions": c.submissions}
 
+    def _queue_position_locked(self, c: _Campaign) -> Optional[int]:
+        if c.id not in self._queue:
+            return None
+        key = (-c.priority, c.seq)
+        ahead = sum(
+            1 for cid in self._queue
+            if (-self._campaigns[cid].priority,
+                self._campaigns[cid].seq) < key)
+        return ahead + 1
+
     def _snapshot(self, c: _Campaign) -> Dict[str, object]:
         progress = []
         for structure in sorted(c.progress):
@@ -239,7 +498,10 @@ class CampaignScheduler:
             "policy": c.spec.policy,
             "submissions": c.submissions,
             "version": c.version,
-            "batches": {"done": c.batches_done, "total": c.batches_total},
+            "priority": c.priority,
+            "queue_position": self._queue_position_locked(c),
+            "batches": {"done": c.batches_done, "total": c.batches_total,
+                        "cached": c.batches_cached},
             "progress": progress,
             "failures": list(c.failures),
             "error": c.error,
@@ -275,42 +537,70 @@ class CampaignScheduler:
                           worker_env=env, on_failure=record)
 
     def _execute(self, campaign: _Campaign) -> None:
-        self._bump(campaign, lambda c: setattr(c, "state", "running"))
+        def start_running(c: _Campaign) -> None:
+            self._journal(c, "running")
+            c.state = "running"
+        self._bump(campaign, start_running)
         supervisor = self._supervisor(campaign)
+        with self._lock:
+            self._supervisors[campaign.id] = supervisor
+            if campaign.cancel_requested:
+                # Cancelled in the admission/running gap: drain at once.
+                supervisor.request_stop()
         try:
-            runner = {"live": self._run_live,
-                      "interval": self._run_interval,
-                      "reproduce": self._run_reproduce}[campaign.spec.kind]
-            payload, degraded = runner(campaign, supervisor)
-        except ExecutionFailed as exc:
-            def fail(c: _Campaign, exc=exc) -> None:
-                c.state = "failed"
-                c.error = str(exc)
+            try:
+                runner = {"live": self._run_live,
+                          "interval": self._run_interval,
+                          "reproduce": self._run_reproduce}[campaign.spec.kind]
+                payload, degraded = runner(campaign, supervisor)
+            except CampaignCancelled:
+                def cancelled(c: _Campaign) -> None:
+                    self._journal(c, "cancelled")
+                    c.state = "cancelled"
+                    c.failures = [f.to_payload()
+                                  for f in supervisor.report.failures]
+                    c.finished = time.time()
+                self._bump(campaign, cancelled)
+                self._write_manifest(campaign)
+                return
+            except ExecutionFailed as exc:
+                def fail(c: _Campaign, exc=exc) -> None:
+                    self._journal(c, "failed")
+                    c.state = "failed"
+                    c.error = str(exc)
+                    c.failures = [f.to_payload()
+                                  for f in supervisor.report.failures]
+                    c.finished = time.time()
+                self._bump(campaign, fail)
+                self._write_manifest(campaign)
+                return
+            except Exception as exc:  # noqa: BLE001 - a campaign never takes
+                # down the service; the error belongs to its submitter.
+                def fail(c: _Campaign, exc=exc) -> None:
+                    self._journal(c, "failed")
+                    c.state = "failed"
+                    c.error = f"{type(exc).__name__}: {exc}"
+                    c.finished = time.time()
+                self._bump(campaign, fail)
+                self._write_manifest(campaign)
+                return
+
+            if not degraded:
+                self.store.write_artifact(campaign.digest, payload)
+
+            def finish(c: _Campaign) -> None:
+                self._journal(c, "degraded" if degraded else "done")
+                c.state = "degraded" if degraded else "done"
                 c.failures = [f.to_payload()
                               for f in supervisor.report.failures]
                 c.finished = time.time()
-            self._bump(campaign, fail)
+            self._bump(campaign, finish)
             self._write_manifest(campaign)
-            return
-        except Exception as exc:  # noqa: BLE001 - a campaign never takes
-            # down the service; the error belongs to its submitter.
-            def fail(c: _Campaign, exc=exc) -> None:
-                c.state = "failed"
-                c.error = f"{type(exc).__name__}: {exc}"
-                c.finished = time.time()
-            self._bump(campaign, fail)
-            self._write_manifest(campaign)
-            return
-
-        if not degraded:
-            self.store.write_artifact(campaign.digest, payload)
-
-        def finish(c: _Campaign) -> None:
-            c.state = "degraded" if degraded else "done"
-            c.failures = [f.to_payload() for f in supervisor.report.failures]
-            c.finished = time.time()
-        self._bump(campaign, finish)
-        self._write_manifest(campaign)
+        finally:
+            with self._lock:
+                self._supervisors.pop(campaign.id, None)
+                self._running.discard(campaign.id)
+                self._admit_locked()
 
     def _write_manifest(self, campaign: _Campaign) -> None:
         with self._lock:
@@ -321,7 +611,8 @@ class CampaignScheduler:
                 "state": campaign.state,
                 "submissions": campaign.submissions,
                 "batches": {"done": campaign.batches_done,
-                            "total": campaign.batches_total},
+                            "total": campaign.batches_total,
+                            "cached": campaign.batches_cached},
                 "failures": list(campaign.failures),
                 "error": campaign.error,
                 "artifact": (f"artifacts/{campaign.digest}.json"
@@ -383,6 +674,9 @@ class CampaignScheduler:
             protection=self._protection(spec), live=live,
             supervisor=supervisor, cache_dir=self.store.cache_dir,
             on_batch=on_batch)
+        self._bump(campaign,
+                   lambda c: setattr(c, "batches_cached",
+                                     result.batches_cached))
 
         structures_payload = []
         for structure, counts in result.structures.items():

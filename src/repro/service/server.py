@@ -1,19 +1,25 @@
 """The asyncio REST/JSON front end of the campaign service.
 
 A deliberately small HTTP/1.1 server on :func:`asyncio.start_server` —
-no ``http.server``, no framework — because the API surface is five
-routes and the contract suite pins every byte of it:
+no ``http.server``, no framework — because the API surface is a handful
+of routes and the contract suite pins every byte of it:
 
 ========  ==============================  =======================================
 method    path                            semantics
 ========  ==============================  =======================================
 GET       ``/healthz``                    liveness + API schema version
-POST      ``/campaigns``                  submit a spec; 201 new, 200 dedup'd
+POST      ``/campaigns``                  submit a spec; 201 new, 200 dedup'd,
+                                          429 + ``Retry-After`` when the
+                                          admission queue is full
 GET       ``/campaigns``                  summaries of every known campaign
 GET       ``/campaigns/{id}``             full status (``?wait=SECS`` and
                                           ``?version=N`` long-poll for change)
+DELETE    ``/campaigns/{id}``             cancel: drains the campaign's pool,
+                                          returns the terminal snapshot
 GET       ``/campaigns/{id}/result``      the final artifact's exact bytes
-GET       ``/stats``                      scheduler counters (dedup observability)
+                                          (integrity-verified; 500 on rot)
+GET       ``/stats``                      scheduler counters (dedup, queue,
+                                          recovery observability)
 ========  ==============================  =======================================
 
 Blocking scheduler calls (submission validation, long-poll waits) run via
@@ -21,6 +27,11 @@ Blocking scheduler calls (submission validation, long-poll waits) run via
 clients while a campaign grinds.  Every response carries
 ``Connection: close`` — one request per connection keeps the parser
 honest and the contract suite simple.
+
+Durability: :meth:`CampaignServer.start` replays the service journal
+(:mod:`repro.service.journal`) *before* binding the socket, so every
+campaign a crashed predecessor owed work to is back in the admission
+queue by the time the first client can connect.
 """
 
 from __future__ import annotations
@@ -30,12 +41,22 @@ import json
 from typing import Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
 
-from repro.service.scheduler import CampaignScheduler
+from repro.errors import ArtifactIntegrityError
+from repro.service.journal import SERVICE_JOURNAL_NAME, ServiceJournal
+from repro.service.scheduler import (
+    DEFAULT_MAX_QUEUED,
+    DEFAULT_MAX_RUNNING,
+    CampaignScheduler,
+    CancelConflict,
+    QueueFull,
+)
 from repro.service.specs import SpecError
 from repro.service.store import ArtifactStore, canonical_json_bytes
 
-#: Version of the REST/JSON wire contract.
-API_SCHEMA_VERSION = 1
+#: Version of the REST/JSON wire contract.  v2 added admission control
+#: (429 + Retry-After + ``queue_position``), DELETE cancellation and the
+#: ``cancelled`` state, ``priority``, and ``batches.cached``.
+API_SCHEMA_VERSION = 2
 
 #: Refuse request bodies beyond this (a campaign spec is tiny).
 MAX_BODY_BYTES = 1 << 20
@@ -49,22 +70,41 @@ MAX_WAIT_SECONDS = 120.0
 _REASONS = {200: "OK", 201: "Created", 400: "Bad Request", 404: "Not Found",
             405: "Method Not Allowed", 408: "Request Timeout",
             409: "Conflict", 413: "Payload Too Large",
-            500: "Internal Server Error"}
+            429: "Too Many Requests", 500: "Internal Server Error"}
+
+#: Extra seconds a DELETE waits beyond the campaign's drain grace (the
+#: supervisor's stop-poll latency plus collection slack).
+CANCEL_WAIT_MARGIN = 3.0
 
 
 class _HttpError(Exception):
-    def __init__(self, status: int, message: str) -> None:
+    """An error response: status, message, optional structured fields
+    merged into the JSON body, optional extra response headers."""
+
+    def __init__(self, status: int, message: str,
+                 extra: Optional[Dict[str, object]] = None,
+                 headers: Optional[Dict[str, str]] = None) -> None:
         super().__init__(message)
         self.status = status
         self.message = message
+        self.extra = extra or {}
+        self.headers = headers or {}
 
 
 class CampaignServer:
     """Binds a :class:`CampaignScheduler` to a TCP port."""
 
     def __init__(self, store: ArtifactStore, workers: int = 2,
-                 host: str = "127.0.0.1", port: int = 0) -> None:
-        self.scheduler = CampaignScheduler(store, workers=workers)
+                 host: str = "127.0.0.1", port: int = 0,
+                 max_running: int = DEFAULT_MAX_RUNNING,
+                 max_queued: int = DEFAULT_MAX_QUEUED,
+                 journal: Optional[ServiceJournal] = None) -> None:
+        if journal is None:
+            journal = ServiceJournal(store.root / SERVICE_JOURNAL_NAME)
+        self.scheduler = CampaignScheduler(store, workers=workers,
+                                           max_running=max_running,
+                                           max_queued=max_queued,
+                                           journal=journal)
         self.host = host
         self.port = port
         self._server: Optional[asyncio.AbstractServer] = None
@@ -72,6 +112,9 @@ class CampaignServer:
     # -- lifecycle -----------------------------------------------------------------
 
     async def start(self) -> None:
+        # Recover *before* binding: no client may observe a service that
+        # has forgotten the campaigns its predecessor journaled.
+        await asyncio.to_thread(self.scheduler.recover)
         self._server = await asyncio.start_server(
             self._handle, host=self.host, port=self.port)
         self.port = self._server.sockets[0].getsockname()[1]
@@ -92,12 +135,14 @@ class CampaignServer:
     async def _handle(self, reader: asyncio.StreamReader,
                       writer: asyncio.StreamWriter) -> None:
         try:
+            headers: Dict[str, str] = {}
             try:
                 method, target, body = await self._read_request(reader)
                 status, payload, raw = await self._route(method, target, body)
             except _HttpError as exc:
                 status = exc.status
-                payload = {"error": exc.message}
+                payload = dict(exc.extra, error=exc.message)
+                headers = exc.headers
                 raw = None
             except Exception as exc:  # noqa: BLE001 - a handler bug must
                 # produce a 500, not a silently dropped connection.
@@ -105,7 +150,7 @@ class CampaignServer:
                 payload = {"error": f"{type(exc).__name__}: {exc}"}
                 raw = None
             data = raw if raw is not None else canonical_json_bytes(payload)
-            writer.write(self._head(status, len(data)))
+            writer.write(self._head(status, len(data), headers))
             writer.write(data)
             await writer.drain()
         except (ConnectionError, asyncio.IncompleteReadError):
@@ -118,12 +163,16 @@ class CampaignServer:
                 pass
 
     @staticmethod
-    def _head(status: int, length: int) -> bytes:
+    def _head(status: int, length: int,
+              extra: Optional[Dict[str, str]] = None) -> bytes:
         reason = _REASONS.get(status, "Unknown")
-        return (f"HTTP/1.1 {status} {reason}\r\n"
-                f"Content-Type: application/json\r\n"
-                f"Content-Length: {length}\r\n"
-                f"Connection: close\r\n\r\n").encode("ascii")
+        lines = [f"HTTP/1.1 {status} {reason}",
+                 "Content-Type: application/json",
+                 f"Content-Length: {length}"]
+        for name, value in (extra or {}).items():
+            lines.append(f"{name}: {value}")
+        lines.append("Connection: close")
+        return ("\r\n".join(lines) + "\r\n\r\n").encode("ascii")
 
     async def _read_request(self, reader: asyncio.StreamReader
                             ) -> Tuple[str, str, bytes]:
@@ -190,6 +239,8 @@ class CampaignServer:
         if path.startswith("/campaigns/"):
             rest = path[len("/campaigns/"):]
             if "/" not in rest:
+                if method == "DELETE":
+                    return await self._cancel(rest)
                 self._require(method, "GET")
                 return await self._status(rest, query)
             campaign_id, _, tail = rest.partition("/")
@@ -215,8 +266,37 @@ class CampaignServer:
                 self.scheduler.submit, payload)
         except SpecError as exc:
             raise _HttpError(400, str(exc))
+        except QueueFull as exc:
+            # Backpressure is part of the wire contract: the client gets
+            # the queue facts it needs to back off, in the body *and* the
+            # standard header.
+            raise _HttpError(
+                429, str(exc),
+                extra={"queue_depth": exc.queue_depth,
+                       "max_queued": exc.max_queued,
+                       "retry_after": exc.retry_after,
+                       "api_schema": API_SCHEMA_VERSION},
+                headers={"Retry-After": str(exc.retry_after)})
         return (200 if dedup else 201), dict(
             status, api_schema=API_SCHEMA_VERSION, deduplicated=dedup), None
+
+    async def _cancel(self, campaign_id: str
+                      ) -> Tuple[int, Dict[str, object], None]:
+        try:
+            status = await asyncio.to_thread(self.scheduler.cancel,
+                                             campaign_id)
+        except CancelConflict as exc:
+            raise _HttpError(409, str(exc), extra={"state": exc.state})
+        if status is None:
+            raise _HttpError(404, f"unknown campaign: {campaign_id}")
+        if status["state"] not in ("cancelled", "done", "degraded", "failed"):
+            # A running campaign drains within its job-timeout grace; wait
+            # it out (bounded) so DELETE returns the terminal snapshot.
+            grace = self.scheduler.cancel_grace(campaign_id)
+            status = await asyncio.to_thread(
+                self.scheduler.wait, campaign_id,
+                min(grace + CANCEL_WAIT_MARGIN, MAX_WAIT_SECONDS)) or status
+        return 200, dict(status, api_schema=API_SCHEMA_VERSION), None
 
     async def _status(self, campaign_id: str, query: Dict[str, list]
                       ) -> Tuple[int, Dict[str, object], None]:
@@ -249,6 +329,10 @@ class CampaignServer:
                 self.scheduler.result_bytes, campaign_id)
         except KeyError:
             raise _HttpError(404, f"unknown campaign: {campaign_id}")
+        except ArtifactIntegrityError as exc:
+            # Never serve bytes that fail re-hashing: a 500 naming the
+            # digest beats silently returning wrong science.
+            raise _HttpError(500, str(exc), extra={"digest": exc.digest})
         if raw is None:
             status = self.scheduler.status(campaign_id) or {}
             state = status.get("state", "unknown")
@@ -258,9 +342,10 @@ class CampaignServer:
 
 
 async def _serve(store_root: str, host: str, port: int, workers: int,
-                 ready=None) -> None:
+                 max_running: int, max_queued: int, ready=None) -> None:
     server = CampaignServer(ArtifactStore(store_root), workers=workers,
-                            host=host, port=port)
+                            host=host, port=port, max_running=max_running,
+                            max_queued=max_queued)
     await server.start()
     if ready is not None:
         ready(server.port)
@@ -273,13 +358,17 @@ async def _serve(store_root: str, host: str, port: int, workers: int,
 
 
 def run_service(store_root: str, host: str = "127.0.0.1", port: int = 8642,
-                workers: int = 2, ready=None) -> None:
+                workers: int = 2, max_running: int = DEFAULT_MAX_RUNNING,
+                max_queued: int = DEFAULT_MAX_QUEUED, ready=None) -> None:
     """Run the campaign service until interrupted (the CLI entry point).
 
-    ``ready(port)`` is invoked once the socket is bound — the smoke
-    harness uses it to learn an ephemeral port without racing the bind.
+    ``ready(port)`` is invoked once the socket is bound — which is also
+    after journal recovery has re-admitted every interrupted campaign —
+    so the smoke harness learns an ephemeral port without racing either
+    the bind or the recovery.
     """
     try:
-        asyncio.run(_serve(store_root, host, port, workers, ready=ready))
+        asyncio.run(_serve(store_root, host, port, workers, max_running,
+                           max_queued, ready=ready))
     except KeyboardInterrupt:
         pass

@@ -50,6 +50,9 @@ SPEC_KINDS = ("live", "interval", "reproduce")
 MAX_STRIKES = 1_000_000
 MAX_INSTRUCTIONS = 10_000_000
 
+#: Scheduling priority range (higher admits first; FIFO within a level).
+MAX_PRIORITY = 9
+
 
 class SpecError(ReproError):
     """A campaign spec failed validation (rendered as HTTP 400)."""
@@ -141,6 +144,8 @@ SPEC_SCHEMA: Dict[str, object] = {
         "artefacts": {"type": "array", "items": {"type": "string"},
                       "minItems": 1},
         "backend": {"type": "string"},
+        "priority": {"type": "integer", "minimum": 0,
+                     "maximum": MAX_PRIORITY},
         "budget": {
             "type": "object",
             "additionalProperties": False,
@@ -179,17 +184,18 @@ class CampaignSpec:
     strike_batch: Optional[int] = None
     artefacts: Tuple[str, ...] = ()
     backend: Optional[str] = None
+    priority: int = 0
     budget: CampaignBudget = field(default_factory=CampaignBudget)
 
     def canonical(self) -> Dict[str, object]:
         """The digestable identity: result-affecting fields only.
 
-        ``backend``, ``budget`` and ``strike_batch`` shape *how* the
-        campaign executes (kernel choice, retry policy, batch size), not
-        what it computes — live-strike draws are keyed by (seed,
-        structure, index) substreams, so batching cannot move a result.
-        Excluding them is what makes dedup hit across clients that only
-        disagree about scheduling.
+        ``backend``, ``budget``, ``strike_batch`` and ``priority`` shape
+        *how* the campaign executes (kernel choice, retry policy, batch
+        size, queue order), not what it computes — live-strike draws are
+        keyed by (seed, structure, index) substreams, so batching cannot
+        move a result.  Excluding them is what makes dedup hit across
+        clients that only disagree about scheduling.
         """
         return {
             "spec_schema": SPEC_SCHEMA_VERSION,
@@ -218,10 +224,50 @@ class CampaignSpec:
         payload = self.canonical()
         payload["backend"] = self.backend
         payload["strike_batch"] = self.strike_batch
+        payload["priority"] = self.priority
         payload["budget"] = {"retries": self.budget.retries,
                              "max_failures": self.budget.max_failures,
                              "job_timeout": self.budget.job_timeout}
         return payload
+
+    def to_request(self) -> Dict[str, object]:
+        """A POST body that re-parses into this exact spec.
+
+        This is what the service journal records for crash recovery: on
+        replay the scheduler feeds it back through :func:`parse_spec`,
+        so a recovered campaign is re-validated by the same code path a
+        fresh client submission takes — the journal is a log of intent,
+        never a trusted serialized object.
+        """
+        request: Dict[str, object] = {
+            "kind": self.kind,
+            "policy": self.policy,
+            "instructions": self.instructions,
+            "seed": self.seed,
+        }
+        if self.kind == "reproduce":
+            request["artefacts"] = list(self.artefacts)
+        else:
+            if (self.workload_name in TABLE2_MIXES
+                    and tuple(TABLE2_MIXES[self.workload_name].programs)
+                    == self.programs):
+                request["workload"] = self.workload_name
+            else:
+                request["workload"] = list(self.programs)
+            request["strikes"] = self.strikes
+            request["protection"] = self.protection
+            if self.structures:
+                request["structures"] = list(self.structures)
+        if self.strike_batch is not None:
+            request["strike_batch"] = self.strike_batch
+        if self.backend is not None:
+            request["backend"] = self.backend
+        if self.priority:
+            request["priority"] = self.priority
+        request["budget"] = {"retries": self.budget.retries,
+                             "max_failures": self.budget.max_failures,
+                             "job_timeout": self.budget.job_timeout}
+        return request
 
 
 def _resolve_workload(raw: Union[str, Sequence[str]]
@@ -349,5 +395,6 @@ def parse_spec(payload: object) -> CampaignSpec:
         strike_batch=payload.get("strike_batch"),
         artefacts=artefacts,
         backend=backend,
+        priority=int(payload.get("priority", 0)),
         budget=budget,
     )

@@ -25,21 +25,32 @@ to a multi-tenant store the campaign service owns:
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
+from repro.errors import ArtifactIntegrityError
 from repro.experiments.runner import atomic_write_json, sweep_tmp_orphans
 
-#: Version of the artifact/manifest layout.
-STORE_SCHEMA_VERSION = 1
+#: Version of the artifact/manifest layout.  v2 added the per-artifact
+#: content checksum; v1 entries are invalidated on read (the campaign
+#: recomputes from the batch cache, so the cost is re-assembly, not
+#: re-simulation).
+STORE_SCHEMA_VERSION = 2
 
 
 def canonical_json_bytes(payload: Dict[str, object]) -> bytes:
     """The one true serialization of an artifact (byte-determinism)."""
     return (json.dumps(payload, sort_keys=True,
                        separators=(",", ":")) + "\n").encode("utf-8")
+
+
+def result_checksum(payload: Dict[str, object]) -> str:
+    """The integrity hash recorded beside (and re-checked against) a
+    stored result: sha256 of the result's own canonical bytes."""
+    return hashlib.sha256(canonical_json_bytes(payload)).hexdigest()
 
 
 class ArtifactStore:
@@ -54,6 +65,12 @@ class ArtifactStore:
                           self.campaign_dir):
             directory.mkdir(parents=True, exist_ok=True)
             sweep_tmp_orphans(directory)
+        # Manifests live one level down (campaigns/<id>/manifest.json);
+        # a writer killed mid-publish leaves its .tmp<pid> there, so the
+        # orphan-sweep contract has to reach the per-campaign dirs too.
+        for subdir in self.campaign_dir.iterdir():
+            if subdir.is_dir():
+                sweep_tmp_orphans(subdir)
 
     # -- artifacts (content-addressed finals) --------------------------------------
 
@@ -67,6 +84,7 @@ class ArtifactStore:
         """Canonical, atomic write; idempotent for identical payloads."""
         path = self.artifact_path(digest)
         data = canonical_json_bytes({"schema": STORE_SCHEMA_VERSION,
+                                     "checksum": result_checksum(payload),
                                      "result": payload})
         tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
         try:
@@ -82,15 +100,56 @@ class ArtifactStore:
         """The exact bytes every client of this digest receives."""
         return self.artifact_path(digest).read_bytes()
 
+    def verified_artifact_bytes(self, digest: str) -> bytes:
+        """Artifact bytes for *serving*: refuses a corrupt entry.
+
+        The entry's result is re-hashed against the checksum recorded at
+        write time; a mismatch (bit rot, truncation past the JSON parser,
+        manual tampering) raises
+        :class:`~repro.errors.ArtifactIntegrityError` naming the digest —
+        the server renders that as a 500, because silently serving wrong
+        science is the one failure mode a content-addressed store exists
+        to rule out.
+        """
+        raw = self.read_artifact_bytes(digest)
+        try:
+            entry = json.loads(raw)
+        except ValueError as exc:
+            raise ArtifactIntegrityError(digest, f"unparseable JSON: {exc}")
+        if not isinstance(entry, dict):
+            raise ArtifactIntegrityError(
+                digest, f"entry is {type(entry).__name__}, not an object")
+        if entry.get("schema") != STORE_SCHEMA_VERSION:
+            raise ArtifactIntegrityError(
+                digest, f"schema {entry.get('schema')!r} != "
+                        f"{STORE_SCHEMA_VERSION}")
+        recorded = entry.get("checksum")
+        actual = result_checksum(entry.get("result", {}))
+        if recorded != actual:
+            raise ArtifactIntegrityError(
+                digest, f"recorded checksum {str(recorded)[:12]}... but "
+                        f"bytes re-hash to {actual[:12]}...")
+        return raw
+
     def read_artifact(self, digest: str) -> Optional[Dict[str, object]]:
+        """The stored result, or None — for the dedup-on-submit path.
+
+        Unlike :meth:`verified_artifact_bytes`, corruption here is
+        answered by *invalidating* the entry (so the submission
+        recomputes it) rather than by an error: at submission time a
+        broken artifact is equivalent to no artifact.
+        """
         try:
             entry = json.loads(self.read_artifact_bytes(digest))
         except (OSError, ValueError):
             return None
         if (not isinstance(entry, dict)
-                or entry.get("schema") != STORE_SCHEMA_VERSION):
-            # Stale layout: invalidate so the campaign recomputes under
-            # the current schema instead of serving a misread.
+                or entry.get("schema") != STORE_SCHEMA_VERSION
+                or entry.get("checksum")
+                != result_checksum(entry.get("result", {}))):
+            # Stale layout or failed re-hash: invalidate so the campaign
+            # recomputes under the current schema instead of serving a
+            # misread.
             try:
                 self.artifact_path(digest).unlink()
             except OSError:

@@ -239,3 +239,123 @@ class TestResilientCli:
         plain = capsys.readouterr().out
         assert main(argv + ["--retries", "1"]) == 0
         assert capsys.readouterr().out == plain
+
+
+class TestServiceClient:
+    """The submit/cancel client commands against live and dead servers."""
+
+    SPEC = {"kind": "live", "workload": ["gcc"], "strikes": 4,
+            "instructions": 80, "structures": ["iq"]}
+
+    @staticmethod
+    def _dead_server():
+        """A base URL nothing listens on (bound, learned, released)."""
+        import socket
+
+        with socket.socket() as sock:
+            sock.bind(("127.0.0.1", 0))
+            port = sock.getsockname()[1]
+        return f"http://127.0.0.1:{port}"
+
+    @pytest.fixture
+    def live_server(self, tmp_path):
+        import asyncio
+        import threading
+
+        from repro.service.server import CampaignServer
+        from repro.service.store import ArtifactStore
+
+        server = CampaignServer(ArtifactStore(tmp_path / "store"), workers=2)
+        loop = asyncio.new_event_loop()
+        ready = threading.Event()
+
+        def run():
+            asyncio.set_event_loop(loop)
+            loop.run_until_complete(server.start())
+            ready.set()
+            loop.run_forever()
+
+        thread = threading.Thread(target=run, daemon=True)
+        thread.start()
+        assert ready.wait(15)
+        yield f"http://127.0.0.1:{server.port}"
+        asyncio.run_coroutine_threadsafe(server.stop(), loop).result(10)
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(10)
+        loop.close()
+
+    def _spec_file(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(self.SPEC))
+        return str(path)
+
+    def test_submit_streams_to_done_and_writes_artifact(self, capsys,
+                                                        tmp_path,
+                                                        live_server):
+        out = tmp_path / "result.json"
+        assert main(["submit", self._spec_file(tmp_path),
+                     "--server", live_server, "--out", str(out)]) == 0
+        printed = capsys.readouterr().out
+        assert "campaign" in printed and "state=done" in printed
+        assert json.loads(out.read_text())["result"]["kind"] == "live"
+
+    def test_cancel_finished_campaign_reports_conflict(self, capsys,
+                                                       tmp_path,
+                                                       live_server):
+        assert main(["submit", self._spec_file(tmp_path),
+                     "--server", live_server,
+                     "--out", str(tmp_path / "r.json")]) == 0
+        cid = capsys.readouterr().out.split()[1]
+        assert main(["cancel", cid, "--server", live_server]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "done" in err
+
+    @pytest.mark.parametrize("argv", [
+        ["submit", "SPEC", "--server", "BASE"],
+        ["cancel", "cafecafecafecafe", "--server", "BASE"],
+    ], ids=["submit", "cancel"])
+    def test_unreachable_service_is_one_line_exit_2(self, capsys, tmp_path,
+                                                    argv):
+        base = self._dead_server()
+        argv = [self._spec_file(tmp_path) if a == "SPEC" else
+                base if a == "BASE" else a for a in argv]
+        assert main(argv + ["--connect-timeout", "2"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert err.count("\n") == 1, f"diagnostic must be one line: {err!r}"
+        assert "cannot reach campaign service" in err
+        assert base in err
+        assert "repro-sim serve" in err
+
+    def test_connect_timeout_bounds_the_wait(self, capsys, tmp_path):
+        import time
+
+        start = time.monotonic()
+        code = main(["submit", self._spec_file(tmp_path),
+                     # RFC 5737 TEST-NET: unroutable, so the connect
+                     # either times out or is refused immediately —
+                     # never answered.
+                     "--server", "http://192.0.2.1:9",
+                     "--connect-timeout", "0.5"])
+        elapsed = time.monotonic() - start
+        assert code == 2
+        assert elapsed < 10.0, f"connect wait unbounded: {elapsed:.1f}s"
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert err.count("\n") == 1
+        # Depending on how the network drops the packets this surfaces
+        # as a connect timeout or a reset — both are one-line
+        # operational diagnostics, never tracebacks.
+        assert ("cannot reach campaign service" in err
+                or "dropped the request" in err)
+
+    @pytest.mark.parametrize("argv,flag", [
+        (["submit", "-", "--connect-timeout", "0"], "--connect-timeout"),
+        (["cancel", "abc", "--connect-timeout", "-1"], "--connect-timeout"),
+        (["serve", "--max-running", "0"], "--max-running"),
+        (["serve", "--max-queued", "-1"], "--max-queued"),
+    ])
+    def test_service_flags_validate_at_the_parser(self, capsys, argv, flag):
+        assert main(argv) == 2
+        assert flag in capsys.readouterr().err

@@ -304,6 +304,136 @@ class TestPlannerValidation:
         assert KNOWN_ARTEFACTS == frozenset(ARTEFACTS)
 
 
+class TestGracefulDrain:
+    """:meth:`Supervisor.request_stop` — the cancellation drain.
+
+    The contract under test: a stop request commits every in-flight job
+    that finishes inside the grace window, reclaims the rest exactly
+    once through the pool-teardown path, charges nobody a retry attempt,
+    and raises :class:`CampaignCancelled` carrying the counts.
+    """
+
+    def _run_async(self, sup, jobs, cache):
+        """Start run_jobs on ``sup`` in a thread; returns (thread, box)."""
+        import threading
+
+        box = {}
+
+        def target():
+            try:
+                run_jobs(jobs, cache, max_workers=2, supervisor=sup)
+            except BaseException as exc:  # noqa: BLE001 - captured for asserts
+                box["exc"] = exc
+
+        thread = threading.Thread(target=target, daemon=True)
+        thread.start()
+        return thread, box
+
+    def test_stop_before_run_submits_nothing(self, monkeypatch):
+        from repro.errors import CampaignCancelled
+
+        monkeypatch.delenv(CHAOS_ENV_VAR, raising=False)
+        cache = ResultCache()
+        sup = Supervisor(max_workers=2, policy=RetryPolicy(**FAST))
+        sup.request_stop()
+        assert sup.stop_requested
+        with pytest.raises(CampaignCancelled) as exc:
+            run_jobs(_jobs(cache), cache, max_workers=2, supervisor=sup)
+        assert exc.value.committed == 0
+        assert exc.value.reclaimed == 0
+        assert "2 never submitted" in str(exc.value)
+        assert not sup.report and sup.retried == 0
+
+    def test_drain_commits_inflight_finished_work(self, monkeypatch):
+        """A job that finishes inside the grace window is committed —
+        cancellation never throws away completed simulations."""
+        import time as _time
+
+        from repro.errors import CampaignCancelled
+
+        # 2-MEM-A stalls 1s on every attempt: in flight but unfinished
+        # when the stop lands, finished well inside the 6s grace.
+        monkeypatch.setenv(CHAOS_ENV_VAR, "hang:2-MEM-A:*:1.0")
+        cache = ResultCache()
+        sup = Supervisor(max_workers=2,
+                         policy=RetryPolicy(job_timeout=6.0, **FAST))
+        jobs = _jobs(cache)
+        thread, box = self._run_async(sup, jobs, cache)
+        _time.sleep(0.5)
+        sup.request_stop()
+        thread.join(20)
+        assert not thread.is_alive()
+        exc = box["exc"]
+        assert isinstance(exc, CampaignCancelled)
+        assert exc.committed >= 1      # the drained hang-then-finish job
+        assert exc.reclaimed == 0
+        # Everything that completed is in the cache; nobody was charged.
+        for job in jobs:
+            assert cache.get(job.digest()) is not None
+        assert not sup.report
+        assert sup.retried == 0 and sup.timeouts == 0
+
+    def test_drain_reclaims_hung_job_without_charging_it(self, monkeypatch):
+        """A job still hung at the end of the grace window is reclaimed
+        (pool teardown, the hung-worker path) exactly once, with no
+        attempt charged — a resubmission must resume it cleanly."""
+        import time as _time
+
+        from repro.errors import CampaignCancelled
+
+        monkeypatch.setenv(CHAOS_ENV_VAR, "hang:2-MEM-A:*:60")
+        cache = ResultCache()
+        # job_timeout doubles as the drain grace; stop lands long before
+        # the 3s in-run deadline could charge the hang a timeout.
+        sup = Supervisor(max_workers=2,
+                         policy=RetryPolicy(job_timeout=3.0, **FAST))
+        jobs = _jobs(cache)
+        thread, box = self._run_async(sup, jobs, cache)
+        _time.sleep(0.7)
+        sup.request_stop()
+        thread.join(20)
+        assert not thread.is_alive()
+        exc = box["exc"]
+        assert isinstance(exc, CampaignCancelled)
+        assert exc.reclaimed == 1
+        clean, hung = jobs
+        assert cache.get(hung.digest()) is None     # reclaimed, not faked
+        assert cache.get(clean.digest()) is not None
+        assert not sup.report                        # no permanent failure
+        assert sup.retried == 0 and sup.timeouts == 0
+
+    def test_drain_after_pool_rebuild(self, monkeypatch):
+        """A stop request still drains cleanly on a pool that has already
+        been torn down and rebuilt by a worker crash."""
+        import time as _time
+
+        from repro.errors import CampaignCancelled
+
+        monkeypatch.setenv(CHAOS_ENV_VAR,
+                           "crash:2-CPU-A:1,hang:2-MEM-A:*:60")
+        cache = ResultCache()
+        sup = Supervisor(max_workers=2,
+                         policy=RetryPolicy(retries=2, job_timeout=3.0,
+                                            **FAST))
+        jobs = _jobs(cache)
+        thread, box = self._run_async(sup, jobs, cache)
+        crashed, _hung = jobs
+        deadline = _time.monotonic() + 15
+        # Wait for the crash to have forced a rebuild and the retried
+        # job to have landed, so the drain runs on the rebuilt pool.
+        while _time.monotonic() < deadline:
+            if sup.pool_rebuilds >= 1 and cache.get(crashed.digest()):
+                break
+            _time.sleep(0.05)
+        sup.request_stop()
+        thread.join(20)
+        assert not thread.is_alive()
+        assert isinstance(box["exc"], CampaignCancelled)
+        assert sup.pool_rebuilds >= 1
+        assert cache.get(crashed.digest()) is not None
+        assert not sup.report
+
+
 class TestTmpFileHygiene:
     def test_cache_open_sweeps_orphans(self, tmp_path):
         orphan = tmp_path / "deadbeef.json.tmp12345"

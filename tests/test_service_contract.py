@@ -21,12 +21,15 @@ mocks between the contract and the implementation.
 import asyncio
 import json
 import threading
+import time
+from contextlib import contextmanager
 from pathlib import Path
 
 import pytest
 
 from repro.resilience.chaos import CHAOS_ENV_VAR
 from repro.service import API_SCHEMA_VERSION, validate_schema
+from repro.service.journal import SERVICE_JOURNAL_NAME
 from repro.service.server import CampaignServer
 from repro.service.store import ArtifactStore
 
@@ -46,8 +49,10 @@ def check(payload, schema_name):
 class ServiceHarness:
     """In-process server + blocking HTTP client for the contract tests."""
 
-    def __init__(self, root):
-        self.server = CampaignServer(ArtifactStore(root), workers=2)
+    def __init__(self, root, **server_kwargs):
+        self.root = Path(root)
+        self.server = CampaignServer(ArtifactStore(root), workers=2,
+                                     **server_kwargs)
         self.loop = asyncio.new_event_loop()
         self._ready = threading.Event()
         self._thread = threading.Thread(target=self._run, daemon=True)
@@ -69,7 +74,8 @@ class ServiceHarness:
         self._thread.join(10)
         self.loop.close()
 
-    def request(self, method, path, body=None, timeout=180.0):
+    def request_full(self, method, path, body=None, timeout=180.0):
+        """Like :meth:`request` but also returns the response headers."""
         import http.client
 
         conn = http.client.HTTPConnection("127.0.0.1", self.server.port,
@@ -79,21 +85,41 @@ class ServiceHarness:
             conn.request(method, path, body=data)
             response = conn.getresponse()
             raw = response.read()
+            headers = {k.lower(): v for k, v in response.getheaders()}
         finally:
             conn.close()
         try:
             payload = json.loads(raw)
         except ValueError:
             payload = None
-        return response.status, payload, raw
+        return response.status, payload, raw, headers
+
+    def request(self, method, path, body=None, timeout=180.0):
+        status, payload, raw, _ = self.request_full(method, path, body=body,
+                                                    timeout=timeout)
+        return status, payload, raw
 
     def finish(self, campaign_id, timeout=180.0):
         """Long-poll until the campaign reaches a terminal state."""
         status, payload, _ = self.request(
             "GET", f"/campaigns/{campaign_id}?wait={int(timeout)}")
         assert status == 200, payload
-        assert payload["state"] in ("done", "degraded", "failed"), payload
+        assert payload["state"] in ("done", "degraded", "failed",
+                                    "cancelled"), payload
         return payload
+
+    def await_state(self, campaign_id, *states, timeout=30.0):
+        """Poll until the campaign reaches one of ``states``."""
+        deadline = time.monotonic() + timeout
+        while True:
+            status, payload, _ = self.request("GET",
+                                              f"/campaigns/{campaign_id}")
+            assert status == 200, payload
+            if payload["state"] in states:
+                return payload
+            assert time.monotonic() < deadline, (
+                f"campaign stuck in {payload['state']}, wanted {states}")
+            time.sleep(0.05)
 
 
 @pytest.fixture
@@ -382,3 +408,285 @@ class TestHttpEdges:
             sock.sendall(b"GARBAGE\r\n\r\n")
             data = sock.recv(65536)
         assert data.startswith(b"HTTP/1.1 400 ")
+
+
+#: A campaign that *stays running* while admission tests probe the queue:
+#: chaos hangs every mcf batch for a few seconds, so one submission of
+#: this spec pins the single running slot of a ``max_running=1`` server.
+BLOCKER = dict(TINY_LIVE, workload=["mcf"])
+BLOCKER_CHAOS = "hang:live/mcf:*:4.0"
+
+
+@contextmanager
+def bounded_service(root, **server_kwargs):
+    """A ServiceHarness with explicit admission bounds."""
+    harness = ServiceHarness(root, **server_kwargs)
+    try:
+        yield harness
+    finally:
+        harness.stop()
+
+
+class TestAdmissionControl:
+    def test_backpressure_emits_429_with_retry_after(self, tmp_path,
+                                                     monkeypatch):
+        monkeypatch.setenv(CHAOS_ENV_VAR, BLOCKER_CHAOS)
+        q1 = dict(TINY_LIVE, strikes=5)
+        q2 = dict(TINY_LIVE, strikes=6)
+        q3 = dict(TINY_LIVE, strikes=7)
+        with bounded_service(tmp_path / "store", max_running=1,
+                             max_queued=2) as svc:
+            status, blocker, _ = svc.request("POST", "/campaigns",
+                                             body=BLOCKER)
+            assert status == 201
+            svc.await_state(blocker["id"], "running")
+
+            status, first, _ = svc.request("POST", "/campaigns", body=q1)
+            assert status == 201
+            check(first, "campaign_status")
+            assert first["state"] == "queued"
+            assert first["queue_position"] == 1
+
+            status, second, _ = svc.request("POST", "/campaigns", body=q2)
+            assert status == 201
+            assert second["queue_position"] == 2
+
+            # The queue is at its bound: the next submission is refused
+            # with a machine-readable body and a Retry-After header.
+            status, rejected, _, headers = svc.request_full(
+                "POST", "/campaigns", body=q3)
+            assert status == 429
+            check(rejected, "rate_limited")
+            assert rejected["queue_depth"] == 2
+            assert rejected["max_queued"] == 2
+            assert "max_queued" in rejected["error"]
+            assert headers["retry-after"] == str(rejected["retry_after"])
+
+            _, stats, _ = svc.request("GET", "/stats")
+            check(stats, "stats")
+            assert stats["queue"] == {"depth": 2, "running": 1,
+                                      "max_queued": 2, "max_running": 1}
+
+            # Nothing admitted was lost: every accepted campaign runs to
+            # completion once the blocker releases the slot.
+            for admitted in (blocker, first, second):
+                final = svc.finish(admitted["id"])
+                assert final["state"] == "done", final
+                assert final["queue_position"] is None
+
+            # Honouring Retry-After works: the rejected spec resubmits
+            # cleanly after the queue drains.
+            status, retried, _ = svc.request("POST", "/campaigns", body=q3)
+            assert status == 201
+            assert svc.finish(retried["id"])["state"] == "done"
+
+    def test_priority_jumps_the_queue_fifo_within_level(self, tmp_path,
+                                                        monkeypatch):
+        monkeypatch.setenv(CHAOS_ENV_VAR, BLOCKER_CHAOS)
+        with bounded_service(tmp_path / "store", max_running=1,
+                             max_queued=4) as svc:
+            _, blocker, _ = svc.request("POST", "/campaigns", body=BLOCKER)
+            svc.await_state(blocker["id"], "running")
+
+            _, first, _ = svc.request("POST", "/campaigns",
+                                      body=dict(TINY_LIVE, strikes=5))
+            _, second, _ = svc.request("POST", "/campaigns",
+                                       body=dict(TINY_LIVE, strikes=6))
+            assert [first["queue_position"], second["queue_position"]] == [1, 2]
+
+            # A higher-priority submission jumps ahead of both...
+            _, urgent, _ = svc.request(
+                "POST", "/campaigns",
+                body=dict(TINY_LIVE, strikes=7, priority=3))
+            assert urgent["priority"] == 3
+            assert urgent["queue_position"] == 1
+            # ...demoting the FIFO pair without reordering them.
+            _, now_first, _ = svc.request("GET", f"/campaigns/{first['id']}")
+            _, now_second, _ = svc.request("GET",
+                                           f"/campaigns/{second['id']}")
+            assert now_first["queue_position"] == 2
+            assert now_second["queue_position"] == 3
+
+            for payload in (blocker, first, second, urgent):
+                assert svc.finish(payload["id"])["state"] == "done"
+
+            # The journal's "admitted" events pin the actual admission
+            # order: blocker first, then priority, then FIFO.
+            journal = svc.root / SERVICE_JOURNAL_NAME
+            admitted = [entry["id"]
+                        for entry in map(json.loads,
+                                         journal.read_text().splitlines())
+                        if entry["event"] == "admitted"]
+            assert admitted == [blocker["id"], urgent["id"],
+                                first["id"], second["id"]]
+
+    def test_concurrent_overflow_rejects_exactly_the_excess(self, tmp_path,
+                                                            monkeypatch):
+        monkeypatch.setenv(CHAOS_ENV_VAR, BLOCKER_CHAOS)
+        specs = [dict(TINY_LIVE, strikes=5 + n) for n in range(5)]
+        with bounded_service(tmp_path / "store", max_running=1,
+                             max_queued=3) as svc:
+            _, blocker, _ = svc.request("POST", "/campaigns", body=BLOCKER)
+            svc.await_state(blocker["id"], "running")
+
+            barrier = threading.Barrier(len(specs))
+            outcomes = []
+
+            def submit(spec):
+                barrier.wait()
+                outcomes.append(svc.request("POST", "/campaigns", body=spec))
+
+            threads = [threading.Thread(target=submit, args=(spec,))
+                       for spec in specs]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(30)
+
+            # Exactly the overflow is rejected — never more, never fewer.
+            statuses = sorted(status for status, _, _ in outcomes)
+            assert statuses == [201, 201, 201, 429, 429]
+            admitted = [payload for status, payload, _ in outcomes
+                        if status == 201]
+            assert len({payload["id"] for payload in admitted}) == 3
+
+            # Zero lost, zero duplicated: each admitted campaign lands
+            # exactly once with its artifact ready.
+            for payload in admitted:
+                final = svc.finish(payload["id"])
+                assert final["state"] == "done"
+                assert final["result_ready"] is True
+            _, stats, _ = svc.request("GET", "/stats")
+            assert stats["executions"] == 4  # blocker + three admitted
+
+
+class TestCancellation:
+    def test_cancel_queued_campaign_is_immediate_and_idempotent(
+            self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CHAOS_ENV_VAR, BLOCKER_CHAOS)
+        with bounded_service(tmp_path / "store", max_running=1,
+                             max_queued=4) as svc:
+            _, blocker, _ = svc.request("POST", "/campaigns", body=BLOCKER)
+            svc.await_state(blocker["id"], "running")
+            _, queued, _ = svc.request("POST", "/campaigns",
+                                       body=dict(TINY_LIVE, strikes=5))
+            assert queued["state"] == "queued"
+
+            start = time.monotonic()
+            status, payload, _ = svc.request(
+                "DELETE", f"/campaigns/{queued['id']}")
+            assert status == 200
+            assert time.monotonic() - start < 5.0, \
+                "cancelling a queued campaign must not wait on any drain"
+            check(payload, "campaign_status")
+            assert payload["state"] == "cancelled"
+            assert payload["queue_position"] is None
+
+            # Idempotent: a second DELETE re-acknowledges, same answer.
+            status, again, _ = svc.request(
+                "DELETE", f"/campaigns/{queued['id']}")
+            assert status == 200
+            assert again["state"] == "cancelled"
+
+            # A cancelled campaign never reaches the artifact store...
+            status, _, _ = svc.request(
+                "GET", f"/campaigns/{queued['id']}/result")
+            assert status == 409
+            # ...and resubmitting revives it for real.
+            status, revived, _ = svc.request(
+                "POST", "/campaigns", body=dict(TINY_LIVE, strikes=5))
+            assert status == 201
+            assert revived["id"] == queued["id"]
+            assert svc.finish(revived["id"])["state"] == "done"
+            assert svc.finish(blocker["id"])["state"] == "done"
+
+    def test_cancel_running_campaign_drains_then_resumes_from_cache(
+            self, service, monkeypatch):
+        # Slow every gcc batch so the campaign (24 batches, 2 workers)
+        # takes ~18s end to end: the 3s drain grace can only commit the
+        # few batches already in flight, never the whole backlog.
+        monkeypatch.setenv(CHAOS_ENV_VAR, "hang:live/gcc:*:1.5")
+        spec = dict(TINY_LIVE, strikes=48, strike_batch=2,
+                    budget={"job_timeout": 3.0})
+        status, payload, _ = service.request("POST", "/campaigns", body=spec)
+        assert status == 201
+        cid = payload["id"]
+
+        # Wait for real progress so the drain has in-flight work to keep.
+        deadline = time.monotonic() + 30
+        while True:
+            _, payload, _ = service.request("GET", f"/campaigns/{cid}")
+            if payload["batches"]["done"] >= 1:
+                break
+            assert time.monotonic() < deadline, payload
+            time.sleep(0.1)
+
+        start = time.monotonic()
+        status, cancelled, _ = service.request("DELETE", f"/campaigns/{cid}")
+        elapsed = time.monotonic() - start
+        assert status == 200
+        # Bounded by the drain grace (job_timeout) plus the server margin.
+        assert elapsed < 15.0, f"cancel took {elapsed:.1f}s"
+        check(cancelled, "campaign_status")
+        assert cancelled["state"] == "cancelled"
+        committed = cancelled["batches"]["done"]
+        assert 1 <= committed < cancelled["batches"]["total"]
+
+        # Partial work is never served as the final artifact...
+        status, _, _ = service.request("GET", f"/campaigns/{cid}/result")
+        assert status == 409
+
+        # ...but every committed batch survives in the cache: the
+        # resubmission resumes instead of starting over.
+        monkeypatch.delenv(CHAOS_ENV_VAR)
+        status, revived, _ = service.request("POST", "/campaigns", body=spec)
+        assert status == 201
+        assert revived["id"] == cid
+        final = service.finish(cid)
+        assert final["state"] == "done"
+        assert final["batches"]["done"] == final["batches"]["total"] == 24
+        assert final["batches"]["cached"] >= committed
+        status, _, _ = service.request("GET", f"/campaigns/{cid}/result")
+        assert status == 200
+
+    def test_cancel_unknown_campaign_is_404(self, service):
+        status, payload, _ = service.request(
+            "DELETE", "/campaigns/ffffffffffffffff")
+        assert status == 404
+        check(payload, "error")
+
+    def test_cancel_finished_campaign_conflicts_naming_state(self, service):
+        _, payload, _ = service.request("POST", "/campaigns", body=TINY_LIVE)
+        cid = payload["id"]
+        assert service.finish(cid)["state"] == "done"
+        status, payload, _ = service.request("DELETE", f"/campaigns/{cid}")
+        assert status == 409
+        check(payload, "error")
+        assert payload["state"] == "done"
+        assert "done" in payload["error"]
+        # The artifact is untouched by the refused cancellation.
+        status, _, _ = service.request("GET", f"/campaigns/{cid}/result")
+        assert status == 200
+
+
+class TestIntegrity:
+    def test_corrupt_artifact_is_refused_with_digest(self, service):
+        _, payload, _ = service.request("POST", "/campaigns", body=TINY_LIVE)
+        cid = payload["id"]
+        assert service.finish(cid)["state"] == "done"
+        status, _, _ = service.request("GET", f"/campaigns/{cid}/result")
+        assert status == 200
+
+        # Flip result content on disk while keeping the recorded
+        # checksum: exactly what bit rot or tampering looks like.
+        (artifact,) = (service.root / "artifacts").glob("*.json")
+        artifact.write_bytes(
+            artifact.read_bytes().replace(b'"live"', b'"LIVE"', 1))
+
+        status, payload, _ = service.request(
+            "GET", f"/campaigns/{cid}/result")
+        assert status == 500
+        check(payload, "error")
+        assert payload["digest"] == artifact.stem
+        assert artifact.stem in payload["error"]
+        assert "integrity" in payload["error"]
