@@ -3,7 +3,7 @@
 PYTHON ?= python
 
 .PHONY: install test test-chaos bench bench-kernel bench-kernel-check \
-	reproduce reproduce-smoke inject-smoke serve-smoke \
+	reproduce reproduce-smoke inject-smoke frontier-smoke serve-smoke \
 	serve-recovery-smoke test-service examples clean
 
 SMOKE_DIR ?= .smoke
@@ -82,6 +82,21 @@ inject-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.cli inject gcc mcf --live \
 		--strikes 6 --structures iq rob \
 		--force hang --force crash --force due --seed 11
+
+# Protection-frontier smoke test: regenerate the protection_frontier
+# artefact at the committed golden's scale and diff it against the
+# fixture — the full lattice enumeration, the Pareto filter, and the
+# live multi-bit cross-validation (Wilson interval containing the
+# analytic SDC rate) all have to reproduce byte-identically.
+frontier-smoke:
+	rm -rf $(SMOKE_DIR)/frontier
+	PYTHONPATH=src REPRO_SCALE=500 $(PYTHON) -m repro.cli reproduce \
+		--only protection_frontier --scale 500 \
+		--out $(SMOKE_DIR)/frontier
+	cmp tests/golden/protection_frontier.txt \
+		$(SMOKE_DIR)/frontier/protection_frontier.txt
+	grep -q "validation passed" $(SMOKE_DIR)/frontier/protection_frontier.txt
+	rm -rf $(SMOKE_DIR)/frontier
 
 # Campaign-service smoke test: boots the real server on an ephemeral
 # port, submits the same spec from two concurrent clients, and asserts

@@ -55,6 +55,35 @@ def _non_negative_int(raw: str) -> int:
     return value
 
 
+def _protect_arg(raw: str):
+    """argparse type: a protection assignment, validated at parse time.
+
+    Accepts one scheme name applied everywhere (``parity``) or a
+    per-structure list (``iq=secded,rob=parity``); unknown schemes and
+    structures are rejected here, naming the valid sets, instead of
+    surfacing as a late ``ValueError`` from the enum constructor deep in
+    the campaign.
+    """
+    from repro.errors import ConfigError
+    from repro.protection import ProtectionConfig
+
+    try:
+        return ProtectionConfig.parse(raw)
+    except ConfigError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+
+
+def _mbu_len(raw: str) -> int:
+    """argparse type: an MBU cluster-length cap within the burst model."""
+    from repro.structures.strike import MAX_CLUSTER_LEN
+
+    value = _positive_int(raw)
+    if value > MAX_CLUSTER_LEN:
+        raise argparse.ArgumentTypeError(
+            f"cluster length cap must be 1..{MAX_CLUSTER_LEN}, got {value}")
+    return value
+
+
 def _positive_float(raw: str) -> float:
     try:
         value = float(raw)
@@ -279,7 +308,7 @@ def _cmd_inject_live(args: argparse.Namespace) -> int:
 
     from repro.faultinject import LiveConfig, run_live_campaign
     from repro.faultinject.live import INJECTABLE
-    from repro.protection import ProtectionScheme
+    from repro.structures.strike import MbuConfig
 
     workload = _resolve_workload(args.workload)
     threads = (workload.num_threads if hasattr(workload, "num_threads")
@@ -307,7 +336,8 @@ def _cmd_inject_live(args: argparse.Namespace) -> int:
     result = run_live_campaign(
         workload, injections=strikes, structures=structures,
         sim=sim, seed=args.seed,
-        protection=ProtectionScheme(args.protect), live=live,
+        protection=args.protect, live=live,
+        mbu=MbuConfig(max_len=args.mbu_len),
         forced=tuple(args.force), jobs=args.jobs, supervisor=supervisor,
         cache_dir=None if args.no_cache else args.cache_dir)
     print(result.summary())
@@ -678,10 +708,18 @@ def build_parser() -> argparse.ArgumentParser:
                           metavar="STRUCT",
                           help="restrict live strikes to these structures "
                                "(iq rob lsq_tag lsq_data reg fu)")
-    live_grp.add_argument("--protect", default="none",
-                          choices=["none", "parity", "ecc"],
-                          help="protection scheme covering the struck "
-                               "structure (default none)")
+    live_grp.add_argument("--protect", default="none", type=_protect_arg,
+                          metavar="SCHEME|STRUCT=SCHEME,...",
+                          help="protection assignment: one scheme for every "
+                               "structure (none, parity, secded, dec-bch; "
+                               "'ecc' is a secded alias) or a per-structure "
+                               "list like iq=secded,rob=parity "
+                               "(default none)")
+    live_grp.add_argument("--mbu-len", type=_mbu_len, default=1,
+                          metavar="N",
+                          help="multi-bit upset mode: clusters of up to N "
+                               "adjacent bits per strike (1-3, default 1 = "
+                               "single-bit)")
     live_grp.add_argument("--force", action="append", default=[],
                           choices=["hang", "crash", "due"], metavar="KIND",
                           help="add a guaranteed-outcome probe strike "

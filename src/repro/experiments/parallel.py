@@ -40,6 +40,8 @@ from repro.experiments.runner import (
     job_key,
     stable_digest,
 )
+from repro.experiments.protection_frontier import (
+    FRONTIER_BUDGET_CAP, FRONTIER_WORKLOAD)
 from repro.experiments.sensitivity import SWEEPABLE
 from repro.fetch.registry import POLICY_NAMES
 from repro.resilience import RetryPolicy, Supervisor
@@ -62,6 +64,7 @@ KNOWN_ARTEFACTS = frozenset({
     "fig4_smt_vs_st_efficiency", "fig5_context_scaling",
     "fig6_fetch_policies", "fig7_policy_efficiency", "fig8_fairness",
     "smt_vs_superscalar", "resource_scaling", "injection_validation",
+    "protection_frontier",
 })
 
 
@@ -196,6 +199,15 @@ def smt_jobs_for(name: str, scale: ExperimentScale,
                 for mix in mixes_for(contexts, mix_type):
                     jobs += [_smt_job(mix, policy, scale, config)
                              for policy in POLICY_NAMES]
+    elif name == "protection_frontier":
+        # The frontier caps its reference run exactly like the renderer
+        # does, so the prewarmed job digest matches cache.smt's lookup.
+        capped = ExperimentScale(
+            instructions_per_thread=min(scale.instructions_per_thread,
+                                        FRONTIER_BUDGET_CAP),
+            seed=scale.seed, check_invariants=scale.check_invariants)
+        jobs.append(_smt_job(get_mix(FRONTIER_WORKLOAD), "ICOUNT",
+                             capped, config))
     elif name == "resource_scaling":
         resource, sizes, workload = RESOURCE_SWEEP
         fields, _structure = SWEEPABLE[resource]

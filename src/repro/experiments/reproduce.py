@@ -40,6 +40,8 @@ from repro.experiments import (
 from repro.experiments.parallel import RESOURCE_SWEEP, prewarm_artefacts
 from repro.experiments.runner import ExperimentScale, ResultCache
 from repro.experiments.sensitivity import format_sweep, run_resource_sweep
+from repro.experiments.protection_frontier import (
+    format_protection_frontier, run_protection_frontier)
 from repro.experiments.smt_tradeoff import format_smt_tradeoff, run_smt_tradeoff
 from repro.experiments.validate_injection import (
     format_injection_validation, run_injection_validation)
@@ -68,6 +70,9 @@ ARTEFACTS: Dict[str, Callable[[ExperimentScale, ResultCache], str]] = {
     "injection_validation":
         lambda s, c: format_injection_validation(
             run_injection_validation(s, c)),
+    "protection_frontier":
+        lambda s, c: format_protection_frontier(
+            run_protection_frontier(s, c)),
 }
 
 

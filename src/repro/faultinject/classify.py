@@ -26,8 +26,12 @@ golden (fault-free) run of the same workload:
 
 * :class:`_StrikeIdle` / :class:`_StrikeDetected` — control-flow signals
   the strike injector uses to end a run early when its outcome is already
-  decided (the struck slot was empty, or a protection scheme caught the
-  flip).  They derive from ``Exception`` directly — not
+  decided (the struck slot was empty, or the struck structure's protection
+  scheme resolved the burst).  Resolution is per (scheme, effective
+  cluster length) — :func:`repro.protection.schemes.detected_outcome` —
+  so e.g. a 2-bit burst sails through parity but a 3-bit one trips it,
+  and SECDED downgrades from ``"corrected"`` to ``"due"`` to a miss as
+  the cluster grows.  They derive from ``Exception`` directly — not
   :class:`~repro.errors.ReproError` — so the runner's containment clause
   (corrupted simulator state raising mid-run => DUE) cannot swallow them.
 """
@@ -46,7 +50,8 @@ class _StrikeIdle(Exception):
 
 
 class _StrikeDetected(Exception):
-    """A protection scheme caught the flip before consumption."""
+    """The struck structure's protection scheme resolved the burst
+    before consumption (per scheme *and* effective cluster length)."""
 
     def __init__(self, resolution: str) -> None:
         self.resolution = resolution  # "due" or "corrected"

@@ -25,6 +25,15 @@ Determinism: every strike draws its (cycle, slot, bit) from its own seeded
 RNG substream — ``SeedSequence([campaign seed, structure, strike index])``
 — so results are byte-identical regardless of worker count or completion
 order.  Records are assembled sorted by (structure, index).
+
+Protection is a per-structure :class:`~repro.protection.ProtectionConfig`
+(every call site also accepts a bare scheme, meaning that scheme
+everywhere), and strikes may be clustered multi-bit upsets: with an
+:class:`~repro.structures.strike.MbuConfig`, each strike draws a cluster
+length *after* its cycle/slot/bit draws on the same substream (so the
+single-bit default draws stay byte-identical to the historical goldens),
+and outcomes resolve per (scheme, effective cluster length) — parity
+misses even clusters, SECDED corrects 1 / detects 2 / misses 3.
 """
 
 from __future__ import annotations
@@ -56,8 +65,10 @@ from repro.faultinject.classify import (
     _StrikeIdle,
 )
 from repro.metrics.reliability import wilson_interval
-from repro.protection import ProtectionScheme, detected_outcome
+from repro.protection import ProtectionConfig, ProtectionScheme
+from repro.protection.config import CoercibleProtection
 from repro.sim.session import SimSession, functional_warmup
+from repro.structures.strike import MbuConfig, burst_bits
 from repro.structures.strike import entry_bits as strike_entry_bits
 from repro.workload.mixes import TABLE2_MIXES, WorkloadMix
 
@@ -88,13 +99,23 @@ class LiveConfig:
 
 @dataclass(frozen=True)
 class StrikeSpec:
-    """One sampled strike point."""
+    """One sampled strike point.
+
+    ``length`` is the *sampled* cluster length (1 outside MBU mode); the
+    effective length after field-boundary clipping is what protection
+    resolution and the record's ``cluster_len`` use.
+    """
 
     structure: Structure
     index: int
     cycle: int
     slot: int
     bit: int
+    length: int = 1
+
+    @property
+    def effective_length(self) -> int:
+        return len(burst_bits(self.structure, self.bit, self.length))
 
 
 @dataclass
@@ -109,12 +130,19 @@ class LiveStrikeRecord:
     outcome: InjectionOutcome
     target: str = ""
     detail: str = ""
+    cluster_len: int = 1
+    """Effective (post-clipping) cluster length of the burst."""
 
     def to_payload(self) -> Dict[str, object]:
-        return {"structure": self.structure.value, "index": self.index,
-                "cycle": self.cycle, "slot": self.slot, "bit": self.bit,
-                "outcome": self.outcome.name, "target": self.target,
-                "detail": self.detail}
+        payload = {"structure": self.structure.value, "index": self.index,
+                   "cycle": self.cycle, "slot": self.slot, "bit": self.bit,
+                   "outcome": self.outcome.name, "target": self.target,
+                   "detail": self.detail}
+        if self.cluster_len != 1:
+            # Omitted for single-bit strikes so default-path record bytes
+            # stay identical to the pre-MBU goldens.
+            payload["cluster_len"] = self.cluster_len
+        return payload
 
     @classmethod
     def from_payload(cls, payload: Dict[str, object]) -> "LiveStrikeRecord":
@@ -123,7 +151,8 @@ class LiveStrikeRecord:
                    slot=int(payload["slot"]), bit=int(payload["bit"]),
                    outcome=InjectionOutcome[str(payload["outcome"])],
                    target=str(payload.get("target", "")),
-                   detail=str(payload.get("detail", "")))
+                   detail=str(payload.get("detail", "")),
+                   cluster_len=int(payload.get("cluster_len", 1)))
 
 
 @dataclass
@@ -203,19 +232,30 @@ def machine_capacity(structure: Structure, config: MachineConfig,
 
 
 def draw_strike(seed: int, structure: Structure, index: int, cycles: int,
-                capacity: int, bits: int) -> StrikeSpec:
+                capacity: int, bits: int,
+                mbu: Optional[MbuConfig] = None) -> StrikeSpec:
     """Sample strike ``index`` of ``structure`` from its own substream.
 
     The substream is keyed by (campaign seed, structure, index) alone, so
     the draw is independent of worker count, batch shape and completion
     order — the root of the campaign's byte-for-byte reproducibility.
+
+    The MBU cluster length (when ``mbu`` enables bursts) is drawn *after*
+    cycle/slot/bit, so enabling MBU extends the draw sequence instead of
+    perturbing it — single-bit campaigns stay byte-identical to the
+    pre-MBU goldens, and MBU campaigns keep the same strike points as
+    their single-bit twins.
     """
     seq = np.random.SeedSequence([seed, _STRUCT_SEED[structure], index])
     rng = np.random.Generator(np.random.PCG64(seq))
-    return StrikeSpec(structure=structure, index=index,
-                      cycle=int(rng.integers(1, cycles + 1)),
-                      slot=int(rng.integers(0, capacity)),
-                      bit=int(rng.integers(0, bits)))
+    cycle = int(rng.integers(1, cycles + 1))
+    slot = int(rng.integers(0, capacity))
+    bit = int(rng.integers(0, bits))
+    length = 1
+    if mbu is not None and mbu.enabled:
+        length = mbu.sample_length(rng)
+    return StrikeSpec(structure=structure, index=index, cycle=cycle,
+                      slot=slot, bit=bit, length=length)
 
 
 # -- faulty-run observers ----------------------------------------------------------
@@ -232,21 +272,25 @@ class StrikeInjector:
     """
 
     def __init__(self, structure: Structure, slot: int, bit: int, cycle: int,
-                 protection: ProtectionScheme,
-                 retry_until_applied: bool = False) -> None:
+                 protection: CoercibleProtection,
+                 retry_until_applied: bool = False,
+                 length: int = 1) -> None:
         self.structure = structure
         self.slot = slot
         self.bit = bit
         self.cycle = cycle
-        self.protection = protection
+        self.protection = ProtectionConfig.coerce(protection)
         self.retry_until_applied = retry_until_applied
+        self.length = length
+        self.cluster_len = len(burst_bits(structure, bit, length))
         self.receipt = None
         self._armed = True
 
     def on_cycle(self, core) -> None:
         if not self._armed or core.cycle < self.cycle:
             return
-        receipt = core.inject_bit(self.structure, self.slot, self.bit)
+        receipt = core.inject_bit(self.structure, self.slot, self.bit,
+                                  self.length)
         self.receipt = receipt
         if not receipt.applied:
             if self.retry_until_applied:
@@ -254,7 +298,7 @@ class StrikeInjector:
             self._armed = False
             raise _StrikeIdle()
         self._armed = False
-        resolution = detected_outcome(self.protection)
+        resolution = self.protection.resolve(self.structure, self.cluster_len)
         if resolution is not None:
             receipt.undo()
             raise _StrikeDetected(resolution)
@@ -358,11 +402,11 @@ def _contained_run(workload: Union[WorkloadMix, Sequence[str]], policy: str,
 def run_one_strike(spec: StrikeSpec,
                    workload: Union[WorkloadMix, Sequence[str]], policy: str,
                    config: MachineConfig, sim: SimConfig, golden: GoldenRun,
-                   protection: ProtectionScheme,
+                   protection: CoercibleProtection,
                    live: LiveConfig) -> LiveStrikeRecord:
     """Inject one strike, classify it, and leave the traces pristine."""
     injector = StrikeInjector(spec.structure, spec.slot, spec.bit,
-                              spec.cycle, protection)
+                              spec.cycle, protection, length=spec.length)
     try:
         outcome, detail, recorder = _contained_run(
             workload, policy, config, sim, golden, live, (injector,))
@@ -380,7 +424,8 @@ def run_one_strike(spec: StrikeSpec,
     target = injector.receipt.target if injector.receipt is not None else ""
     return LiveStrikeRecord(structure=spec.structure, index=spec.index,
                             cycle=spec.cycle, slot=spec.slot, bit=spec.bit,
-                            outcome=outcome, target=target, detail=detail)
+                            outcome=outcome, target=target, detail=detail,
+                            cluster_len=injector.cluster_len)
 
 
 def run_forced_strike(kind: str,
@@ -437,7 +482,8 @@ class LiveCampaignResult:
     workload: str
     cycles: int
     injections_per_structure: int
-    protection: ProtectionScheme
+    protection: ProtectionConfig
+    mbu: MbuConfig = field(default_factory=MbuConfig)
     structures: Dict[Structure, StructureCampaign] = field(default_factory=dict)
     records: List[LiveStrikeRecord] = field(default_factory=list)
     forced: Dict[str, LiveStrikeRecord] = field(default_factory=dict)
@@ -477,11 +523,17 @@ class LiveCampaignResult:
         return "conservative" if avf > hi else "ANOMALY"
 
     def summary(self) -> str:
-        validating = self.protection is ProtectionScheme.NONE
+        # ACE AVF validation only makes sense for the unprotected
+        # single-bit campaign: protection removes SDCs by design, and a
+        # multi-bit burst upper-bounds the per-bit AVF the ledger reports.
+        validating = self.protection.is_none and not self.mbu.enabled
+        mbu_note = (f", mbu<=len {self.mbu.max_len}" if self.mbu.enabled
+                    else "")
         lines = [
             f"Live fault injection — {self.workload} "
             f"({self.injections_per_structure} strikes/structure, golden "
-            f"{self.cycles} cycles, protection {self.protection.value})",
+            f"{self.cycles} cycles, protection {self.protection.label()}"
+            f"{mbu_note})",
             f"{'structure':<10} {'ACE AVF':>8} {'live est':>9} "
             f"{'95% CI':>17} {'masked':>7} {'due':>6} {'hang':>6} "
             f"{'verdict':>12}",
@@ -516,10 +568,11 @@ class LiveBatchJob:
     config: MachineConfig
     sim: SimConfig
     seed: int
-    protection: ProtectionScheme
+    protection: ProtectionConfig
     live: LiveConfig
     structure: Structure
     indices: Tuple[int, ...]
+    mbu: MbuConfig = MbuConfig()
 
     @property
     def label(self) -> str:
@@ -535,7 +588,7 @@ class LiveBatchJob:
         return list(self.programs)
 
     def key(self) -> Dict[str, object]:
-        return {
+        key = {
             "live_schema": CAMPAIGN_SCHEMA_VERSION,
             "workload": self.workload_name,
             "programs": list(self.programs),
@@ -543,11 +596,19 @@ class LiveBatchJob:
             "machine": asdict(self.config),
             "sim": asdict(self.sim),
             "seed": self.seed,
-            "protection": self.protection.value,
+            "protection": self.protection.label(),
             "watchdog": asdict(self.live),
             "structure": self.structure.value,
             "indices": list(self.indices),
         }
+        # Only present when bursts are on, so every historical single-bit
+        # digest — and with it the batch cache and supervisor journals —
+        # stays valid across the MBU upgrade.
+        if self.mbu.enabled:
+            key["mbu"] = self.mbu.to_payload()
+        if self.protection.scrub_interval_cycles is not None:
+            key["scrub"] = self.protection.scrub_interval_cycles
+        return key
 
     def digest(self) -> str:
         blob = json.dumps(self.key(), sort_keys=True, separators=(",", ":"))
@@ -562,7 +623,7 @@ class LiveBatchJob:
         records = []
         for index in self.indices:
             spec = draw_strike(self.seed, self.structure, index,
-                               golden.cycles, capacity, bits)
+                               golden.cycles, capacity, bits, self.mbu)
             record = run_one_strike(spec, workload, self.policy, self.config,
                                     self.sim, golden, self.protection,
                                     self.live)
@@ -594,8 +655,9 @@ def plan_live_batches(workload: Union[WorkloadMix, Sequence[str]],
                       config: Optional[MachineConfig] = None,
                       sim: Optional[SimConfig] = None,
                       seed: int = 42,
-                      protection: ProtectionScheme = ProtectionScheme.NONE,
+                      protection: CoercibleProtection = ProtectionScheme.NONE,
                       live: Optional[LiveConfig] = None,
+                      mbu: Optional[MbuConfig] = None,
                       ) -> List[LiveBatchJob]:
     """Shard a live campaign into supervised :class:`LiveBatchJob` units.
 
@@ -609,6 +671,8 @@ def plan_live_batches(workload: Union[WorkloadMix, Sequence[str]],
     config = config or DEFAULT_CONFIG
     base_sim = sim or SimConfig(max_instructions=600)
     live = live or LiveConfig()
+    protection = ProtectionConfig.coerce(protection)
+    mbu = mbu or MbuConfig()
     policy_name = policy if isinstance(policy, str) else policy.name
     unsupported = [s for s in structures if s not in INJECTABLE]
     if unsupported:
@@ -624,7 +688,7 @@ def plan_live_batches(workload: Union[WorkloadMix, Sequence[str]],
         LiveBatchJob(workload_name=name, programs=programs,
                      policy=policy_name, config=config, sim=base_sim,
                      seed=seed, protection=protection, live=live,
-                     structure=structure, indices=batch)
+                     structure=structure, indices=batch, mbu=mbu)
         for structure in structures
         for batch in _batched(range(injections), live.strike_batch)
     ]
@@ -637,8 +701,9 @@ def run_live_campaign(workload: Union[WorkloadMix, Sequence[str]],
                       config: Optional[MachineConfig] = None,
                       sim: Optional[SimConfig] = None,
                       seed: int = 42,
-                      protection: ProtectionScheme = ProtectionScheme.NONE,
+                      protection: CoercibleProtection = ProtectionScheme.NONE,
                       live: Optional[LiveConfig] = None,
+                      mbu: Optional[MbuConfig] = None,
                       forced: Sequence[str] = (),
                       jobs: int = 1,
                       supervisor=None,
@@ -661,6 +726,8 @@ def run_live_campaign(workload: Union[WorkloadMix, Sequence[str]],
     config = config or DEFAULT_CONFIG
     base_sim = sim or SimConfig(max_instructions=600)
     live = live or LiveConfig()
+    protection = ProtectionConfig.coerce(protection)
+    mbu = mbu or MbuConfig()
     policy_name = policy if isinstance(policy, str) else policy.name
     unsupported = [s for s in structures if s not in INJECTABLE]
     if unsupported:
@@ -684,7 +751,7 @@ def run_live_campaign(workload: Union[WorkloadMix, Sequence[str]],
     jobs_list = plan_live_batches(workload, injections=injections,
                                   structures=structures, policy=policy_name,
                                   config=config, sim=base_sim, seed=seed,
-                                  protection=protection, live=live)
+                                  protection=protection, live=live, mbu=mbu)
 
     cache_root: Optional[Path] = None
     if cache_dir is not None:
@@ -771,7 +838,7 @@ def run_live_campaign(workload: Union[WorkloadMix, Sequence[str]],
 
     result = LiveCampaignResult(workload=name, cycles=golden.cycles,
                                 injections_per_structure=injections,
-                                protection=protection,
+                                protection=protection, mbu=mbu,
                                 batches_cached=cached,
                                 batches_executed=executed)
     result.records = [by_key[key] for key in sorted(by_key)]

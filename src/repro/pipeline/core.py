@@ -515,8 +515,11 @@ class SMTCore:
 
     # -- live fault injection --------------------------------------------------------------------------------
 
-    def inject_bit(self, structure: Structure, slot: int, bit: int):
-        """Flip bit ``bit`` of entry ``slot`` of ``structure``, live.
+    def inject_bit(self, structure: Structure, slot: int, bit: int,
+                   length: int = 1):
+        """Flip ``length`` adjacent bits starting at ``bit`` of entry
+        ``slot`` of ``structure``, live (clipped at field boundaries —
+        see :func:`repro.structures.strike.burst_bits`).
 
         ``slot`` indexes the structure's *machine-wide* capacity — private
         structures (ROB, LSQ, per-thread arch backing in the register pool)
@@ -525,17 +528,19 @@ class SMTCore:
         the :class:`~repro.structures.strike.StrikeReceipt` for undo.
         """
         if structure is Structure.IQ:
-            return self._iq.inject_bit(slot, bit)
+            return self._iq.inject_bit(slot, bit, length)
         if structure is Structure.ROB:
             tid, index = divmod(slot, self.config.rob_entries)
-            return self.threads[tid].rob.inject_bit(index, bit, self.cycle)
+            return self.threads[tid].rob.inject_bit(index, bit, self.cycle,
+                                                    length)
         if structure in (Structure.LSQ_TAG, Structure.LSQ_DATA):
             tid, index = divmod(slot, self.config.lsq_entries)
-            return self.threads[tid].lsq.inject_bit(index, bit, structure)
+            return self.threads[tid].lsq.inject_bit(index, bit, structure,
+                                                    length)
         if structure is Structure.REG:
-            return self._regfile.inject_bit(slot, bit)
+            return self._regfile.inject_bit(slot, bit, length)
         if structure is Structure.FU:
-            return self._fu_pool.inject_bit(slot, bit)
+            return self._fu_pool.inject_bit(slot, bit, length)
         raise StructureError(f"structure {structure.value} is not injectable")
 
     # -- helpers -----------------------------------------------------------------------------------------------

@@ -1,0 +1,213 @@
+"""Per-structure protection assignment: the ``ProtectionConfig`` layer.
+
+A machine does not protect everything one way: the paper's Section 5
+prescription — protect the shared SMT hotspots first — is a *per-structure*
+decision with per-structure costs.  ``ProtectionConfig`` captures such an
+assignment as a value object: a default scheme, per-structure overrides, and
+an optional scrubbing cadence.  It replaces the single global
+``protection=ProtectionScheme`` scalar that used to thread through the
+injection campaign, the CLI, and the service layer; every one of those call
+sites now accepts either form via :meth:`ProtectionConfig.coerce`, so a bare
+scheme keeps meaning "that scheme, everywhere".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple, Union
+
+from repro.avf.structures import Structure
+from repro.errors import ConfigError
+from repro.protection.schemes import (ProtectionScheme, SCHEME_NAMES,
+                                      detected_outcome, parse_scheme)
+
+#: Accepted spellings per structure (enum value and lower-cased forms).
+STRUCTURE_ALIASES: Dict[str, Structure] = {}
+for _s in Structure:
+    STRUCTURE_ALIASES[_s.value.lower()] = _s
+    STRUCTURE_ALIASES[_s.name.lower()] = _s
+
+#: Canonical structure spellings, for error messages naming the valid set.
+STRUCTURE_NAMES: Tuple[str, ...] = tuple(s.value for s in Structure)
+
+
+def parse_structure(raw: object) -> Structure:
+    """Resolve one structure name, case-insensitively."""
+    if isinstance(raw, Structure):
+        return raw
+    structure = STRUCTURE_ALIASES.get(str(raw).strip().lower())
+    if structure is None:
+        raise ConfigError(
+            f"unknown structure {raw!r}; "
+            f"known: {', '.join(STRUCTURE_NAMES)}")
+    return structure
+
+
+CoercibleProtection = Union["ProtectionConfig", ProtectionScheme, str,
+                            Mapping[object, object], None]
+
+
+@dataclass(frozen=True)
+class ProtectionConfig:
+    """An immutable ``Structure -> ProtectionScheme`` assignment.
+
+    ``default`` covers every structure without an explicit entry in
+    ``overrides`` (stored as a sorted tuple so equal configs hash equal
+    and serialise identically).  ``scrub_interval_cycles`` is a cadence
+    for background scrubbing; it only affects the energy-cost proxy, not
+    strike resolution — a strike consumed before the next scrub pass is
+    not saved by scrubbing, the conservative model.
+    """
+
+    default: ProtectionScheme = ProtectionScheme.NONE
+    overrides: Tuple[Tuple[Structure, ProtectionScheme], ...] = ()
+    scrub_interval_cycles: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.scrub_interval_cycles is not None \
+                and self.scrub_interval_cycles < 1:
+            raise ConfigError(
+                f"scrub interval must be >= 1 cycle, "
+                f"got {self.scrub_interval_cycles}")
+        seen = set()
+        for structure, _scheme in self.overrides:
+            if structure in seen:
+                raise ConfigError(
+                    f"duplicate protection override for {structure.value}")
+            seen.add(structure)
+        ordered = tuple(sorted(
+            ((s, sch) for s, sch in self.overrides
+             if sch is not self.default),
+            key=lambda pair: pair[0].value))
+        object.__setattr__(self, "overrides", ordered)
+
+    # -- lookup ------------------------------------------------------------
+
+    def scheme_for(self, structure: Structure) -> ProtectionScheme:
+        for candidate, scheme in self.overrides:
+            if candidate is structure:
+                return scheme
+        return self.default
+
+    def resolve(self, structure: Structure,
+                cluster_len: int = 1) -> Optional[str]:
+        """Outcome of a ``cluster_len``-bit strike on ``structure``
+        (``"corrected"`` / ``"due"`` / ``None`` — see
+        :func:`repro.protection.schemes.detected_outcome`)."""
+        return detected_outcome(self.scheme_for(structure), cluster_len)
+
+    @property
+    def is_uniform(self) -> bool:
+        return not self.overrides
+
+    @property
+    def is_none(self) -> bool:
+        """True when nothing is protected (the byte-compat default path)."""
+        return self.is_uniform and self.default is ProtectionScheme.NONE
+
+    def assignments(self, structures) -> Dict[Structure, ProtectionScheme]:
+        return {s: self.scheme_for(s) for s in structures}
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def uniform(cls, scheme: Union[ProtectionScheme, str],
+                scrub_interval_cycles: Optional[int] = None,
+                ) -> "ProtectionConfig":
+        return cls(default=parse_scheme(scheme),
+                   scrub_interval_cycles=scrub_interval_cycles)
+
+    @classmethod
+    def parse(cls, text: str) -> "ProtectionConfig":
+        """Parse the CLI/spec string form.
+
+        Either one bare scheme applied everywhere (``"parity"``) or a
+        comma-separated per-structure list (``"iq=secded,rob=parity"``);
+        a bare scheme inside the list sets the default for unlisted
+        structures (``"parity,fu=secded"``).
+        """
+        default = ProtectionScheme.NONE
+        overrides: Dict[Structure, ProtectionScheme] = {}
+        for part in str(text).split(","):
+            part = part.strip()
+            if not part:
+                continue
+            if "=" in part:
+                raw_structure, _, raw_scheme = part.partition("=")
+                structure = parse_structure(raw_structure)
+                if structure in overrides:
+                    raise ConfigError(
+                        f"duplicate protection override for {structure.value}")
+                overrides[structure] = parse_scheme(raw_scheme)
+            else:
+                default = parse_scheme(part)
+        return cls(default=default, overrides=tuple(overrides.items()))
+
+    @classmethod
+    def coerce(cls, value: CoercibleProtection) -> "ProtectionConfig":
+        """Accept every historical spelling of "the protection setting".
+
+        ``None`` -> unprotected; a bare :class:`ProtectionScheme` or
+        scheme/assignment string -> via :meth:`uniform` / :meth:`parse`;
+        a mapping -> the :meth:`to_payload` wire form round-tripped.
+        """
+        if value is None:
+            return cls()
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, ProtectionScheme):
+            return cls(default=value)
+        if isinstance(value, str):
+            return cls.parse(value)
+        if isinstance(value, Mapping):
+            return cls.from_payload(value)
+        raise ConfigError(
+            f"cannot interpret {value!r} as a protection config; "
+            f"expected a scheme name ({', '.join(SCHEME_NAMES)}), a "
+            f"'struct=scheme,...' assignment, or a mapping")
+
+    # -- serialisation -----------------------------------------------------
+
+    def label(self) -> str:
+        """Canonical string form: parseable, stable, and — for a uniform
+        config — exactly the bare scheme name the pre-refactor model
+        used, which keeps summaries and cache digests byte-compatible."""
+        if self.is_uniform:
+            return self.default.value
+        parts = []
+        if self.default is not ProtectionScheme.NONE:
+            parts.append(self.default.value)
+        parts.extend(f"{s.value}={scheme.value}"
+                     for s, scheme in self.overrides)
+        return ",".join(parts)
+
+    def to_payload(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {"default": self.default.value}
+        if self.overrides:
+            payload["overrides"] = {s.value: scheme.value
+                                    for s, scheme in self.overrides}
+        if self.scrub_interval_cycles is not None:
+            payload["scrub_interval_cycles"] = self.scrub_interval_cycles
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[object, object],
+                     ) -> "ProtectionConfig":
+        unknown = set(payload) - {"default", "overrides",
+                                  "scrub_interval_cycles"}
+        if unknown:
+            raise ConfigError(
+                f"unknown protection config keys: {sorted(unknown)}")
+        raw_overrides = payload.get("overrides", {})
+        if not isinstance(raw_overrides, Mapping):
+            raise ConfigError("protection 'overrides' must be a mapping")
+        scrub = payload.get("scrub_interval_cycles")
+        if scrub is not None and not isinstance(scrub, int):
+            raise ConfigError("scrub_interval_cycles must be an integer")
+        return cls(
+            default=parse_scheme(payload.get("default", "none")),
+            overrides=tuple(
+                (parse_structure(s), parse_scheme(scheme))
+                for s, scheme in raw_overrides.items()),
+            scrub_interval_cycles=scrub,
+        )

@@ -1,0 +1,171 @@
+"""The per-structure protection design space and its Pareto frontier.
+
+The greedy planner answers "best assignment under *this* budget"; a design
+study needs the whole trade-off curve.  Because both residual FIT and cost
+are *additive over structures* under this model, the full lattice
+(schemes ** structures assignments — 4^6 = 4096 for the injectable set)
+collapses to per-structure option tables, and the frontier is exact:
+
+* each structure contributes one of ``len(schemes)`` (sdc, due, cost)
+  options, cost = added storage bits + an encode/check energy proxy
+  (:func:`repro.protection.schemes.energy_cost`, scrubbing included);
+* a combination is *Pareto-optimal* when no other combination has both
+  lower-or-equal residual SDC FIT and lower-or-equal cost, with one
+  strictly lower.
+
+Outcome fractions are MBU-aware: under a clustered-upset mix, parity's
+even-cluster blind spot and SECDED's triple leak keep their points' SDC
+strictly positive, which is exactly what makes the frontier non-trivial —
+with single-bit strikes every correcting scheme would sit at SDC = 0 and
+the "frontier" would be a cost-sorted line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.avf.fit import DEFAULT_RAW_FIT_PER_BIT
+from repro.avf.report import AvfReport
+from repro.avf.structures import Structure
+from repro.errors import ConfigError
+from repro.protection.config import ProtectionConfig
+from repro.protection.planner import structure_length_probs
+from repro.protection.schemes import (ProtectionScheme, added_bits,
+                                      energy_cost, outcome_fractions)
+from repro.structures.strike import MbuConfig
+
+#: Lattice axis order: every scheme, weakest to strongest.
+ALL_SCHEMES: Tuple[ProtectionScheme, ...] = (
+    ProtectionScheme.NONE, ProtectionScheme.PARITY,
+    ProtectionScheme.SECDED, ProtectionScheme.DEC_BCH,
+)
+
+
+@dataclass(frozen=True)
+class FrontierPoint:
+    """One Pareto-optimal protection assignment."""
+
+    config: ProtectionConfig
+    sdc_fit: float
+    due_fit: float
+    area_bits: float
+    energy: float
+
+    @property
+    def cost(self) -> float:
+        """The scalar cost axis the frontier is computed against."""
+        return self.area_bits + self.energy
+
+    def label(self) -> str:
+        return self.config.label()
+
+
+@dataclass
+class ProtectionFrontier:
+    """The Pareto frontier of one machine's protection design space."""
+
+    points: List[FrontierPoint]
+    structures: Tuple[Structure, ...]
+    combinations: int
+    mbu: MbuConfig
+    raw_fit_per_bit: float
+
+    def summary(self) -> str:
+        lines = [f"{'assignment':<44} {'SDC FIT':>9} {'DUE FIT':>9} "
+                 f"{'area bits':>10} {'energy':>9}"]
+        for p in self.points:
+            lines.append(f"{p.label():<44} {p.sdc_fit:9.4f} "
+                         f"{p.due_fit:9.4f} {p.area_bits:10.0f} "
+                         f"{p.energy:9.0f}")
+        return "\n".join(lines)
+
+
+def _pareto_filter(candidates: Sequence[Tuple[float, float, object]],
+                   ) -> List[Tuple[float, float, object]]:
+    """Keep the (objective, cost, payload) triples no other triple
+    dominates (<= on both axes, < on at least one).  Sorting by (cost,
+    objective) makes this a single min-scan; ties on both axes keep the
+    first (lexicographically smallest payload ordering upstream)."""
+    survivors: List[Tuple[float, float, object]] = []
+    best_objective = float("inf")
+    seen_costs = set()
+    for objective, cost, payload in sorted(
+            candidates, key=lambda c: (c[1], c[0])):
+        if objective >= best_objective:
+            continue
+        if cost in seen_costs:
+            continue
+        survivors.append((objective, cost, payload))
+        seen_costs.add(cost)
+        best_objective = objective
+    return survivors
+
+
+def protection_frontier(report: AvfReport,
+                        structures: Optional[Sequence[Structure]] = None,
+                        schemes: Sequence[ProtectionScheme] = ALL_SCHEMES,
+                        raw_fit_per_bit: float = DEFAULT_RAW_FIT_PER_BIT,
+                        mbu: Optional[MbuConfig] = None,
+                        scrub_interval_cycles: Optional[int] = None,
+                        max_points: Optional[int] = None,
+                        ) -> ProtectionFrontier:
+    """Enumerate the per-structure scheme lattice and keep the Pareto set.
+
+    Residual SDC FIT is the objective, ``area_bits + energy`` the cost;
+    both are additive per structure, so the enumeration is exact over
+    ``len(schemes) ** len(structures)`` assignments.  ``mbu`` selects the
+    cluster-length mix the outcome fractions integrate over (per
+    structure, after field-boundary clipping); ``scrub_interval_cycles``
+    adds scrubbing traffic to every protected structure's energy proxy.
+    Points come back cost-sorted, cheapest (all-NONE) first.
+    """
+    tracked = tuple(structures) if structures else tuple(report.avf)
+    if not tracked:
+        raise ConfigError("protection frontier needs at least one structure")
+    mbu = mbu or MbuConfig()
+
+    # Per-structure option tables: (scheme, sdc_fit, due_fit, area, energy).
+    options: Dict[Structure, List[Tuple[ProtectionScheme, float, float,
+                                        float, float]]] = {}
+    for s in tracked:
+        raw = raw_fit_per_bit * report.bits[s] * report.avf[s]
+        probs = structure_length_probs(s, mbu)
+        rows = []
+        for scheme in schemes:
+            escape, due, _corrected = outcome_fractions(scheme, probs)
+            rows.append((scheme,
+                         raw * escape,
+                         raw * due,
+                         added_bits(scheme, s, report.bits[s]),
+                         energy_cost(scheme, report.bits[s],
+                                     scrub_interval_cycles)))
+        options[s] = rows
+
+    candidates = []
+    for combo in product(*(options[s] for s in tracked)):
+        sdc = sum(row[1] for row in combo)
+        due = sum(row[2] for row in combo)
+        area = sum(row[3] for row in combo)
+        energy = sum(row[4] for row in combo)
+        config = ProtectionConfig(
+            overrides=tuple((s, row[0]) for s, row in zip(tracked, combo)),
+            scrub_interval_cycles=scrub_interval_cycles)
+        candidates.append((sdc, area + energy,
+                           (config, due, area, energy)))
+
+    survivors = _pareto_filter(candidates)
+    if max_points is not None and len(survivors) > max_points:
+        # Thin evenly along the cost axis, always keeping both endpoints
+        # (the all-NONE anchor and the lowest-SDC assignment).
+        step = (len(survivors) - 1) / (max_points - 1)
+        survivors = [survivors[round(i * step)] for i in range(max_points)]
+
+    points = [FrontierPoint(config=payload[0], sdc_fit=sdc,
+                            due_fit=payload[1], area_bits=payload[2],
+                            energy=payload[3])
+              for sdc, _cost, payload in survivors]
+    return ProtectionFrontier(points=points, structures=tracked,
+                              combinations=len(candidates), mbu=mbu,
+                              raw_fit_per_bit=raw_fit_per_bit)

@@ -4,21 +4,37 @@ Given an AVF report, a raw error rate, and an area budget (extra bits as a
 fraction of the tracked bits), greedily protect the structures with the
 highest silent-corruption contribution per unit of added area — which, on
 an SMT machine, means the shared hotspots the paper's Section 5 points at.
+
+Outcome fractions are cluster-length aware: under a multi-bit upset mix
+(:class:`~repro.structures.strike.MbuConfig`) parity stops detecting even
+clusters and SECDED leaks triples, so the same assignment removes less SDC
+than the single-bit model claims — the effect the
+:mod:`~repro.protection.frontier` module turns into a design space.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence
+from typing import Dict, Mapping, Optional, Sequence
 
 from repro.avf.fit import DEFAULT_RAW_FIT_PER_BIT
 from repro.avf.report import AvfReport
 from repro.avf.structures import Structure
 from repro.errors import ConfigError
-from repro.protection.schemes import (
-    SCHEME_PROPERTIES,
-    ProtectionScheme,
-)
+from repro.protection.config import ProtectionConfig
+from repro.protection.schemes import (ProtectionScheme, added_bits,
+                                      outcome_fractions)
+from repro.structures.strike import (ENTRY_LAYOUT, MbuConfig,
+                                     effective_length_distribution)
+
+
+def structure_length_probs(structure: Structure,
+                           mbu: Optional[MbuConfig]) -> Mapping[int, float]:
+    """Effective cluster-length mix for one structure (clipping included);
+    single-bit when MBU is off or the structure has no strike layout."""
+    if mbu is None or not mbu.enabled or structure not in ENTRY_LAYOUT:
+        return {1: 1.0}
+    return effective_length_distribution(structure, mbu)
 
 
 @dataclass
@@ -66,45 +82,71 @@ class ProtectionPlan:
         return "\n".join(lines)
 
 
+def estimate_structure(structure: Structure, scheme: ProtectionScheme,
+                       bits: float, avf: float,
+                       raw_fit_per_bit: float = DEFAULT_RAW_FIT_PER_BIT,
+                       mbu: Optional[MbuConfig] = None) -> ProtectedEstimate:
+    """Residual FIT and cost of protecting one structure one way."""
+    raw = raw_fit_per_bit * bits * avf
+    escape, due, _corrected = outcome_fractions(
+        scheme, structure_length_probs(structure, mbu))
+    return ProtectedEstimate(
+        structure=structure,
+        scheme=scheme,
+        raw_fit=raw,
+        sdc_fit=raw * escape,
+        due_fit=raw * due,
+        added_bits=added_bits(scheme, structure, bits),
+    )
+
+
 def apply_protection(report: AvfReport,
-                     assignments: Dict[Structure, ProtectionScheme],
-                     raw_fit_per_bit: float = DEFAULT_RAW_FIT_PER_BIT) -> ProtectionPlan:
-    """Evaluate an explicit per-structure protection assignment."""
+                     assignments,
+                     raw_fit_per_bit: float = DEFAULT_RAW_FIT_PER_BIT,
+                     mbu: Optional[MbuConfig] = None) -> ProtectionPlan:
+    """Evaluate an explicit per-structure protection assignment.
+
+    ``assignments`` is a ``Structure -> ProtectionScheme`` mapping or a
+    :class:`~repro.protection.config.ProtectionConfig`; unassigned
+    structures default to NONE (or the config's default scheme).
+    """
+    if isinstance(assignments, ProtectionConfig):
+        assignments = assignments.assignments(report.avf)
     plan = ProtectionPlan(assignments=dict(assignments))
     for s in report.avf:
         scheme = assignments.get(s, ProtectionScheme.NONE)
         plan.assignments[s] = scheme
-        props = SCHEME_PROPERTIES[scheme]
-        raw = raw_fit_per_bit * report.bits[s] * report.avf[s]
-        plan.estimates[s] = ProtectedEstimate(
-            structure=s,
-            scheme=scheme,
-            raw_fit=raw,
-            sdc_fit=raw * props.sdc_fraction,
-            due_fit=raw * props.due_fraction,
-            added_bits=report.bits[s] * props.area_overhead,
-        )
+        plan.estimates[s] = estimate_structure(
+            s, scheme, report.bits[s], report.avf[s],
+            raw_fit_per_bit=raw_fit_per_bit, mbu=mbu)
     return plan
 
 
 def plan_protection(report: AvfReport,
                     area_budget_fraction: float = 0.02,
                     schemes: Sequence[ProtectionScheme] = (
-                        ProtectionScheme.PARITY, ProtectionScheme.ECC),
+                        ProtectionScheme.PARITY, ProtectionScheme.SECDED),
                     raw_fit_per_bit: float = DEFAULT_RAW_FIT_PER_BIT,
-                    structures: Optional[Sequence[Structure]] = None) -> ProtectionPlan:
+                    structures: Optional[Sequence[Structure]] = None,
+                    mbu: Optional[MbuConfig] = None) -> ProtectionPlan:
     """Greedy hotspot-first protection under an area budget.
 
     Repeatedly upgrades the structure/scheme pair with the best
     SDC-FIT-removed per added bit that still fits in the remaining budget.
-    With a generous budget everything ends up ECC; with a tight one only
-    the hotspots get protected — Section 5's prescription made concrete.
+    With a generous budget everything ends up SECDED; with a tight one
+    only the hotspots get protected — Section 5's prescription made
+    concrete.  (The exhaustive counterpart over the full scheme lattice
+    lives in :func:`repro.protection.frontier.protection_frontier`.)
     """
     if area_budget_fraction < 0:
         raise ConfigError("area budget must be non-negative")
     tracked = list(structures) if structures else [s for s in report.avf]
     total_bits = sum(report.bits[s] for s in tracked)
     budget = area_budget_fraction * total_bits
+
+    def estimate(s: Structure, scheme: ProtectionScheme) -> ProtectedEstimate:
+        return estimate_structure(s, scheme, report.bits[s], report.avf[s],
+                                  raw_fit_per_bit=raw_fit_per_bit, mbu=mbu)
 
     assignments: Dict[Structure, ProtectionScheme] = {
         s: ProtectionScheme.NONE for s in tracked
@@ -113,13 +155,11 @@ def plan_protection(report: AvfReport,
     while True:
         best = None
         for s in tracked:
-            current = SCHEME_PROPERTIES[assignments[s]]
-            raw = raw_fit_per_bit * report.bits[s] * report.avf[s]
+            current = estimate(s, assignments[s])
             for scheme in schemes:
-                props = SCHEME_PROPERTIES[scheme]
-                extra_bits = (props.area_overhead - current.area_overhead) \
-                    * report.bits[s]
-                sdc_removed = raw * (current.sdc_fraction - props.sdc_fraction)
+                candidate = estimate(s, scheme)
+                extra_bits = candidate.added_bits - current.added_bits
+                sdc_removed = current.sdc_fit - candidate.sdc_fit
                 if extra_bits <= 0 or sdc_removed <= 0:
                     continue
                 if extra_bits > remaining:
@@ -133,6 +173,6 @@ def plan_protection(report: AvfReport,
         assignments[s] = scheme
         remaining -= extra_bits
 
-    plan = apply_protection(report, assignments, raw_fit_per_bit)
+    plan = apply_protection(report, assignments, raw_fit_per_bit, mbu=mbu)
     plan.area_budget_bits = budget
     return plan

@@ -654,7 +654,7 @@ class CampaignScheduler:
                                     policy=spec.policy, sim=sim,
                                     seed=spec.seed,
                                     protection=self._protection(spec),
-                                    live=live)
+                                    live=live, mbu=self._mbu(spec))
         self._bump(campaign,
                    lambda c: setattr(c, "batches_total", len(batches)))
 
@@ -672,6 +672,7 @@ class CampaignScheduler:
             workload, injections=spec.strikes, structures=structures,
             policy=spec.policy, sim=sim, seed=spec.seed,
             protection=self._protection(spec), live=live,
+            mbu=self._mbu(spec),
             supervisor=supervisor, cache_dir=self.store.cache_dir,
             on_batch=on_batch)
         self._bump(campaign,
@@ -697,7 +698,8 @@ class CampaignScheduler:
             "workload": result.workload,
             "cycles": result.cycles,
             "injections_per_structure": result.injections_per_structure,
-            "protection": result.protection.value,
+            "protection": result.protection.label(),
+            "mbu_len": spec.mbu_len,
             "structures": structures_payload,
             "records": [r.to_payload() for r in result.records],
             "summary": result.summary(),
@@ -705,9 +707,14 @@ class CampaignScheduler:
         return payload, degraded
 
     def _protection(self, spec: CampaignSpec):
-        from repro.protection import ProtectionScheme
+        from repro.protection import ProtectionConfig
 
-        return ProtectionScheme(spec.protection)
+        return ProtectionConfig.coerce(spec.protection)
+
+    def _mbu(self, spec: CampaignSpec):
+        from repro.structures.strike import MbuConfig
+
+        return MbuConfig(max_len=spec.mbu_len)
 
     def _run_interval(self, campaign: _Campaign, supervisor: Supervisor
                       ) -> Tuple[Dict[str, object], bool]:

@@ -41,7 +41,10 @@ from repro.workload.spec2000 import PROFILES
 
 #: Version of the spec layout.  Part of the canonical digest, so a schema
 #: change never dedups against artefacts computed under the old contract.
-SPEC_SCHEMA_VERSION = 1
+#: v2: per-structure ``protection`` assignments (string or object form,
+#: schemes none/parity/secded/dec-bch with 'ecc' as a secded alias) and
+#: the ``mbu_len`` multi-bit-upset cluster cap.
+SPEC_SCHEMA_VERSION = 2
 
 SPEC_KINDS = ("live", "interval", "reproduce")
 
@@ -138,8 +141,12 @@ SPEC_SCHEMA: Dict[str, object] = {
         "strikes": {"type": "integer", "minimum": 0, "maximum": MAX_STRIKES},
         "structures": {"type": "array", "items": {"type": "string"},
                        "minItems": 1},
-        "protection": {"type": "string",
-                       "enum": ["none", "parity", "ecc"]},
+        # A scheme name for every structure ("parity"), a per-structure
+        # assignment string ("iq=secded,rob=parity"), or the object form
+        # {"default": ..., "overrides": {...}}; validated semantically
+        # against the real scheme/structure registries below.
+        "protection": {"type": ["string", "object"]},
+        "mbu_len": {"type": "integer", "minimum": 1, "maximum": 3},
         "strike_batch": {"type": "integer", "minimum": 1},
         "artefacts": {"type": "array", "items": {"type": "string"},
                       "minItems": 1},
@@ -181,6 +188,9 @@ class CampaignSpec:
     strikes: int = 8
     structures: Tuple[str, ...] = ()
     protection: str = "none"
+    """Canonical assignment label (``ProtectionConfig.label()`` form) —
+    a plain string so the spec stays trivially JSON- and digest-able."""
+    mbu_len: int = 1
     strike_batch: Optional[int] = None
     artefacts: Tuple[str, ...] = ()
     backend: Optional[str] = None
@@ -208,6 +218,7 @@ class CampaignSpec:
             "strikes": self.strikes,
             "structures": list(self.structures),
             "protection": self.protection,
+            "mbu_len": self.mbu_len,
             "artefacts": list(self.artefacts),
         }
 
@@ -256,6 +267,8 @@ class CampaignSpec:
                 request["workload"] = list(self.programs)
             request["strikes"] = self.strikes
             request["protection"] = self.protection
+            if self.mbu_len != 1:
+                request["mbu_len"] = self.mbu_len
             if self.structures:
                 request["structures"] = list(self.structures)
         if self.strike_batch is not None:
@@ -380,8 +393,26 @@ def parse_spec(payload: object) -> CampaignSpec:
     # campaigns into different digests.
     strikes = (0 if kind == "reproduce"
                else int(payload.get("strikes", default_strikes)))
-    protection = ("none" if kind == "reproduce"
-                  else payload.get("protection", "none"))
+    if kind == "reproduce":
+        protection = "none"
+        mbu_len = 1
+    else:
+        # Normalise every accepted spelling (bare scheme, per-structure
+        # string, object form, legacy 'ecc') to the canonical label so
+        # equivalent requests dedup to one digest.
+        from repro.errors import ConfigError
+        from repro.protection import ProtectionConfig
+        from repro.structures.strike import MAX_CLUSTER_LEN
+
+        try:
+            protection = ProtectionConfig.coerce(
+                payload.get("protection", "none")).label()
+        except ConfigError as exc:
+            raise SpecError(f"spec.protection: {exc}") from None
+        mbu_len = int(payload.get("mbu_len", 1))
+        if not 1 <= mbu_len <= MAX_CLUSTER_LEN:
+            raise SpecError(f"spec.mbu_len: must be 1-{MAX_CLUSTER_LEN}, "
+                            f"got {mbu_len}")
     return CampaignSpec(
         kind=kind,
         workload_name=workload_name,
@@ -392,6 +423,7 @@ def parse_spec(payload: object) -> CampaignSpec:
         strikes=strikes,
         structures=structures,
         protection=protection,
+        mbu_len=mbu_len,
         strike_batch=payload.get("strike_batch"),
         artefacts=artefacts,
         backend=backend,

@@ -16,7 +16,7 @@ from repro.config import MachineConfig
 from repro.instrument import ResidencyProbe, Structure
 from repro.isa.instruction import DynInstr
 from repro.isa.opcodes import FUType, OpClass, execution_latency, fu_type_for
-from repro.structures.strike import StrikeReceipt, payload_token
+from repro.structures.strike import StrikeReceipt, burst_bits, cluster_token
 
 
 class FunctionalUnitPool:
@@ -81,8 +81,9 @@ class FunctionalUnitPool:
 
     # -- live fault injection ----------------------------------------------------
 
-    def inject_bit(self, slot: int, bit: int) -> StrikeReceipt:
-        """Flip one latch bit of pool unit ``slot``; see strike.py.
+    def inject_bit(self, slot: int, bit: int, length: int = 1) -> StrikeReceipt:
+        """Flip ``length`` adjacent latch bits of pool unit ``slot``,
+        clipped at the latch-word boundary; see strike.py.
 
         Units are numbered across the pool in Table-1 order (I-ALUs first,
         FP-MUL/DIV last).  A unit holding a reservation has the in-flight
@@ -102,6 +103,7 @@ class FunctionalUnitPool:
                 True, f"FU[{fu.name}#{remaining}]=t{instr.thread_id}#{instr.seq}",
                 "value")
             receipt.record(instr, "value_tag")
-            instr.value_tag ^= payload_token(Structure.FU, bit)
+            burst = burst_bits(Structure.FU, bit, length)
+            instr.value_tag ^= cluster_token(Structure.FU, burst)
             return receipt
         return StrikeReceipt.idle(f"FU[{slot}]")

@@ -14,7 +14,8 @@ from typing import Callable, Dict, Iterable, List
 from repro.errors import StructureError
 from repro.instrument import ResidencyProbe, Structure
 from repro.isa.instruction import DynInstr
-from repro.structures.strike import StrikeReceipt, locate_field, payload_token
+from repro.structures.strike import (StrikeReceipt, burst_bits, cluster_token,
+                                     locate_field)
 
 
 class SharedIssueQueue:
@@ -90,24 +91,31 @@ class SharedIssueQueue:
 
     # -- live fault injection ----------------------------------------------------
 
-    def inject_bit(self, slot: int, bit: int) -> StrikeReceipt:
-        """Flip one bit of IQ entry ``slot`` (dispatch order); see strike.py.
+    def inject_bit(self, slot: int, bit: int, length: int = 1) -> StrikeReceipt:
+        """Flip ``length`` adjacent bits of IQ entry ``slot`` (dispatch
+        order), clipped at the field boundary; see strike.py.
 
         Payload bits taint the waiting instruction's value; the scheduler
         bits flip its wakeup state (``pending_srcs``), which can issue an
         operand-less instruction early or strand one forever — the live
-        model's source of IQ-induced hangs.
+        model's source of IQ-induced hangs.  A multi-bit burst stays
+        within one field, so it either widens the taint or folds several
+        wakeup flips together.
         """
         if slot >= len(self._entries):
             return StrikeReceipt.idle(f"IQ[{slot}]")
         instr = self._entries[slot]
         field, offset = locate_field(Structure.IQ, bit)
+        burst = burst_bits(Structure.IQ, bit, length)
         receipt = StrikeReceipt(True, f"IQ[{slot}]=t{instr.thread_id}#{instr.seq}",
                                 field)
         if field == "sched":
             receipt.record(instr, "pending_srcs")
-            instr.pending_srcs ^= 1 + (offset & 1)
+            flips = 0
+            for i in range(len(burst)):
+                flips ^= 1 + ((offset + i) & 1)
+            instr.pending_srcs ^= flips or 1 + (offset & 1)
         else:
             receipt.record(instr, "value_tag")
-            instr.value_tag ^= payload_token(Structure.IQ, bit)
+            instr.value_tag ^= cluster_token(Structure.IQ, burst)
         return receipt

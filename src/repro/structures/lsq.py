@@ -19,7 +19,8 @@ from typing import Deque, List, Optional
 from repro.errors import StructureError
 from repro.instrument import ResidencyProbe, Structure
 from repro.isa.instruction import DynInstr
-from repro.structures.strike import StrikeReceipt, locate_field, payload_token
+from repro.structures.strike import (StrikeReceipt, burst_bits, cluster_token,
+                                     locate_field)
 
 _WORD_MASK = ~0x7  # forwarding granularity: aligned 8-byte words
 
@@ -97,8 +98,9 @@ class LoadStoreQueue:
     # -- live fault injection ----------------------------------------------------
 
     def inject_bit(self, index: int, bit: int,
-                   structure: Structure) -> StrikeReceipt:
-        """Flip one bit of LSQ entry ``index`` (0 = oldest); see strike.py.
+                   structure: Structure, length: int = 1) -> StrikeReceipt:
+        """Flip ``length`` adjacent bits of LSQ entry ``index`` (0 =
+        oldest), clipped at the field boundary; see strike.py.
 
         The tag half's address bits really flip ``mem_addr`` (redirecting
         the access and store-to-load forwarding) *and* taint the value —
@@ -112,6 +114,7 @@ class LoadStoreQueue:
             return StrikeReceipt.idle(f"LSQ_{half}[t{self.thread_id}][{index}]")
         instr = self._entries[index]
         field, offset = locate_field(structure, bit)
+        burst = burst_bits(structure, bit, length)
         receipt = StrikeReceipt(
             True, f"{structure.value}[t{self.thread_id}][{index}]=#{instr.seq}",
             field)
@@ -120,7 +123,8 @@ class LoadStoreQueue:
             return receipt
         if field == "addr":
             receipt.record(instr, "mem_addr")
-            instr.mem_addr ^= 1 << offset
+            for i in range(len(burst)):
+                instr.mem_addr ^= 1 << (offset + i)
         receipt.record(instr, "value_tag")
-        instr.value_tag ^= payload_token(structure, bit)
+        instr.value_tag ^= cluster_token(structure, burst)
         return receipt

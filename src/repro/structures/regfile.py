@@ -18,7 +18,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.errors import StructureError
 from repro.instrument import ResidencyProbe, Structure
 from repro.isa.instruction import DynInstr
-from repro.structures.strike import StrikeReceipt, payload_token
+from repro.structures.strike import StrikeReceipt, burst_bits, cluster_token
 from repro.workload.generator import FP_REG_BASE
 
 
@@ -164,8 +164,9 @@ class PhysicalRegisterFile:
 
     # -- live fault injection ----------------------------------------------------
 
-    def inject_bit(self, phys: int, bit: int) -> StrikeReceipt:
-        """Flip one data bit of physical register ``phys``; see strike.py.
+    def inject_bit(self, phys: int, bit: int, length: int = 1) -> StrikeReceipt:
+        """Flip ``length`` adjacent data bits of physical register
+        ``phys``, clipped at the word boundary; see strike.py.
 
         A free register is idle (nothing lives there); an allocated one is
         tainted in place — if the producer has not written back yet, the
@@ -178,5 +179,6 @@ class PhysicalRegisterFile:
             return StrikeReceipt.idle(f"REG[p{phys}]")
         receipt = StrikeReceipt(True, f"REG[p{phys}]=t{meta.thread_id}", "value")
         receipt.record(meta, "tag")
-        meta.tag ^= payload_token(Structure.REG, bit)
+        burst = burst_bits(Structure.REG, bit, length)
+        meta.tag ^= cluster_token(Structure.REG, burst)
         return receipt

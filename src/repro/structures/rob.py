@@ -13,7 +13,8 @@ from typing import Deque, List, Optional
 from repro.errors import StructureError
 from repro.instrument import ResidencyProbe, Structure
 from repro.isa.instruction import DynInstr
-from repro.structures.strike import StrikeReceipt, locate_field, payload_token
+from repro.structures.strike import (StrikeReceipt, burst_bits, cluster_token,
+                                     locate_field)
 
 
 class ReorderBuffer:
@@ -84,13 +85,18 @@ class ReorderBuffer:
 
     # -- live fault injection ----------------------------------------------------
 
-    def inject_bit(self, index: int, bit: int, cycle: int) -> StrikeReceipt:
-        """Flip one bit of ROB entry ``index`` (0 = head); see strike.py.
+    def inject_bit(self, index: int, bit: int, cycle: int,
+                   length: int = 1) -> StrikeReceipt:
+        """Flip ``length`` adjacent bits of ROB entry ``index`` (0 =
+        head), clipped at the field boundary; see strike.py.
 
         Payload bits taint the entry's value/identity; the status bits
         toggle its completion flag — un-completing a finished entry strands
         the commit head (a hang), prematurely completing an unexecuted one
-        lets it commit or collide with its own later writeback.
+        lets it commit or collide with its own later writeback.  A status
+        burst toggles the flag exactly once (the flag is one latch bit
+        rendered as several encoded status bits; re-toggling would cancel
+        the strike rather than widen it).
         """
         if index >= len(self._entries):
             return StrikeReceipt.idle(f"ROB[t{self.thread_id}][{index}]")
@@ -103,5 +109,6 @@ class ReorderBuffer:
             instr.completed_at = -1 if instr.completed_at >= 0 else cycle
         else:
             receipt.record(instr, "value_tag")
-            instr.value_tag ^= payload_token(Structure.ROB, bit)
+            burst = burst_bits(Structure.ROB, bit, length)
+            instr.value_tag ^= cluster_token(Structure.ROB, burst)
         return receipt

@@ -25,9 +25,10 @@ architecturally required state.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
-from repro.errors import StructureError
+from repro.errors import ConfigError, StructureError
 from repro.instrument.structures import Structure
 
 _M64 = (1 << 64) - 1
@@ -67,6 +68,124 @@ def locate_field(structure: Structure, bit: int) -> Tuple[str, int]:
         f"({entry_bits(structure)} bits)")
 
 
+#: Physical upper bound of the clustered-MBU model: neutron-beam data says
+#: adjacent-bit bursts beyond 3 bits are rare enough to ignore at this
+#: modelling fidelity, and the protection lattice's strongest code
+#: (DEC-BCH) is specified against exactly this cap.
+MAX_CLUSTER_LEN = 3
+
+#: Default cluster-length mix when MBU mode is on: mostly single-bit with
+#: a heavy-ion style tail, the shape of the related repo's beam fits.
+DEFAULT_MBU_WEIGHTS: Tuple[float, ...] = (0.7, 0.2, 0.1)
+
+
+def burst_bits(structure: Structure, bit: int,
+               length: int) -> Tuple[int, ...]:
+    """The adjacent ascending bits struck by a length-``length`` burst
+    starting at ``bit``, clipped at the containing field's boundary.
+
+    Fields are physically distinct storage (a scheduler wakeup bit does
+    not abut the value payload in the array), so a burst never crosses a
+    field boundary — which also guarantees it never crosses an entry
+    boundary.  The *effective* cluster length near a boundary is shorter
+    than the sampled one; protection resolution uses the effective value.
+    """
+    if length < 1:
+        raise ConfigError(f"cluster length must be >= 1, got {length}")
+    field, offset = locate_field(structure, bit)
+    for name, width in ENTRY_LAYOUT[structure]:
+        if name == field:
+            room = width - offset
+            break
+    else:  # pragma: no cover - locate_field already validated the bit
+        raise StructureError(f"field {field} missing from layout")
+    return tuple(range(bit, bit + min(length, room)))
+
+
+@dataclass(frozen=True)
+class MbuConfig:
+    """Cluster-length distribution for multi-bit upset sampling.
+
+    ``max_len=1`` (the default) is the exact pre-MBU single-bit model:
+    the strike sampler draws no extra randomness, keeping default-path
+    records byte-identical to the historical goldens.  With
+    ``max_len>1``, each strike draws a cluster length from ``weights``
+    (normalised over lengths ``1..max_len``) *after* its cycle/slot/bit
+    draws, on the same per-strike ``SeedSequence`` substream — so MBU
+    campaigns stay byte-identical at any worker count too.
+    """
+
+    max_len: int = 1
+    weights: Tuple[float, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.max_len <= MAX_CLUSTER_LEN:
+            raise ConfigError(
+                f"MBU cluster length must be 1..{MAX_CLUSTER_LEN}, "
+                f"got {self.max_len}")
+        weights = tuple(float(w) for w in self.weights) \
+            or DEFAULT_MBU_WEIGHTS[:self.max_len]
+        if len(weights) != self.max_len:
+            raise ConfigError(
+                f"MBU needs {self.max_len} length weights, "
+                f"got {len(weights)}")
+        if any(w < 0 for w in weights) or sum(weights) <= 0:
+            raise ConfigError("MBU length weights must be non-negative "
+                              "and sum to a positive value")
+        total = sum(weights)
+        object.__setattr__(
+            self, "weights", tuple(w / total for w in weights))
+
+    @property
+    def enabled(self) -> bool:
+        return self.max_len > 1
+
+    def length_probs(self) -> Dict[int, float]:
+        return {i + 1: w for i, w in enumerate(self.weights)}
+
+    def sample_length(self, rng) -> int:
+        """Draw one cluster length (1-based) from ``weights`` using a
+        single uniform variate from ``rng`` (numpy ``Generator``)."""
+        u = float(rng.random())
+        acc = 0.0
+        for i, w in enumerate(self.weights):
+            acc += w
+            if u < acc:
+                return i + 1
+        return self.max_len
+
+    def to_payload(self) -> Dict[str, object]:
+        return {"max_len": self.max_len, "weights": list(self.weights)}
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, object]) -> "MbuConfig":
+        return cls(max_len=int(payload.get("max_len", 1)),
+                   weights=tuple(payload.get("weights", ())))
+
+
+def effective_length_distribution(structure: Structure,
+                                  mbu: MbuConfig) -> Dict[int, float]:
+    """Cluster-length mix *after* field-boundary clipping, for a start
+    bit uniform over the entry.
+
+    This is what the analytic frontier must integrate over to agree with
+    live MBU campaigns: e.g. on the IQ (60-bit value + 4-bit sched
+    fields) 2 of 64 start bits clip a sampled 3-burst to 2 and another 2
+    clip any multi-bit burst to 1, so the effective mix is strictly
+    shorter-tailed than the sampled one.
+    """
+    bits = entry_bits(structure)
+    probs: Dict[int, float] = {}
+    for sampled, weight in mbu.length_probs().items():
+        if weight == 0.0:
+            continue
+        for bit in range(bits):
+            effective = len(burst_bits(structure, bit, sampled))
+            probs[effective] = probs.get(effective, 0.0) \
+                + weight / bits
+    return probs
+
+
 def payload_token(structure: Structure, bit: int) -> int:
     """Deterministic nonzero 64-bit taint token for one (structure, bit).
 
@@ -82,6 +201,17 @@ def payload_token(structure: Structure, bit: int) -> int:
 
 
 _STRUCT_ID = {s: i for i, s in enumerate(ENTRY_LAYOUT)}
+
+
+def cluster_token(structure: Structure, bits: Tuple[int, ...]) -> int:
+    """Combined taint token of an adjacent-bit burst: the XOR of the
+    per-bit tokens, with a nonzero fallback should the XOR ever cancel
+    (astronomically unlikely, but a zero token would make the whole
+    burst invisible to the architectural digest)."""
+    token = 0
+    for bit in bits:
+        token ^= payload_token(structure, bit)
+    return token or payload_token(structure, bits[0])
 
 
 class StrikeReceipt:

@@ -74,6 +74,59 @@ class TestParser:
         assert args.scale == 500
 
 
+class TestProtectFlag:
+    """--protect/--mbu-len are validated at parse time, not mid-campaign."""
+
+    def test_accepts_uniform_scheme(self):
+        args = build_parser().parse_args(
+            ["inject", "2-CPU-A", "--live", "--protect", "parity"])
+        assert args.protect.label() == "parity"
+
+    def test_accepts_per_structure_list(self):
+        args = build_parser().parse_args(
+            ["inject", "2-CPU-A", "--live",
+             "--protect", "iq=secded,rob=parity"])
+        assert args.protect.label() == "IQ=secded,ROB=parity"
+
+    def test_ecc_alias_maps_to_secded(self):
+        args = build_parser().parse_args(
+            ["inject", "2-CPU-A", "--live", "--protect", "ecc"])
+        assert args.protect.label() == "secded"
+
+    def test_rejects_unknown_scheme_naming_valid_set(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["inject", "2-CPU-A", "--live", "--protect", "hamming"])
+        err = capsys.readouterr().err
+        assert "parity" in err and "secded" in err and "dec-bch" in err
+
+    def test_rejects_unknown_structure_naming_valid_set(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["inject", "2-CPU-A", "--live", "--protect", "l2=parity"])
+        err = capsys.readouterr().err
+        assert "iq" in err.lower()
+
+    def test_rejects_out_of_range_mbu_len(self, capsys):
+        for bad in ("0", "4", "-1", "two"):
+            with pytest.raises(SystemExit):
+                build_parser().parse_args(
+                    ["inject", "2-CPU-A", "--live", "--mbu-len", bad])
+
+    def test_mbu_len_in_range(self):
+        args = build_parser().parse_args(
+            ["inject", "2-CPU-A", "--live", "--mbu-len", "3"])
+        assert args.mbu_len == 3
+
+    def test_live_campaign_runs_with_protect_and_mbu(self, capsys):
+        assert main(["inject", "gcc", "mcf", "--live", "--strikes", "4",
+                     "-n", "200", "--structures", "iq",
+                     "--protect", "iq=parity", "--mbu-len", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "protection IQ=parity" in out
+        assert "mbu" in out
+
+
 class TestCacheFlags:
     """--jobs/--cache-dir/--no-cache on reproduce, figure and inject."""
 

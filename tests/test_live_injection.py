@@ -11,6 +11,8 @@ ACE AVF against the live SDC rate.
 from pathlib import Path
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.avf.bits import entry_bits as ledger_entry_bits
 from repro.avf.structures import Structure
@@ -24,10 +26,14 @@ from repro.faultinject import (
 from repro.faultinject.campaign import INJECTABLE, StructureCampaign
 from repro.faultinject.live import draw_strike, golden_run, machine_capacity
 from repro.metrics.reliability import wilson_interval
-from repro.protection import ProtectionScheme
+from repro.protection import ProtectionConfig, ProtectionScheme
 from repro.structures.strike import (
     ENTRY_LAYOUT,
+    MAX_CLUSTER_LEN,
+    MbuConfig,
     StrikeReceipt,
+    burst_bits,
+    effective_length_distribution,
     entry_bits,
     locate_field,
     payload_token,
@@ -185,14 +191,150 @@ class TestProtection:
                             InjectionOutcome.DUE}
         assert InjectionOutcome.DUE in outcomes
 
-    def test_ecc_corrects(self):
+    def test_secded_corrects(self):
         result = run_live_campaign(
             WORKLOAD, injections=8, structures=(Structure.IQ,), sim=SIM,
-            seed=3, protection=ProtectionScheme.ECC)
+            seed=3, protection=ProtectionScheme.SECDED)
         outcomes = {r.outcome for r in result.records}
         assert outcomes <= {InjectionOutcome.MASKED_IDLE,
                             InjectionOutcome.CORRECTED}
         assert InjectionOutcome.CORRECTED in outcomes
+
+    def test_ecc_alias_still_accepted(self):
+        # "ecc" predates the SECDED/DEC-BCH split; campaigns that spell
+        # it the old way must keep running.
+        result = run_live_campaign(
+            WORKLOAD, injections=4, structures=(Structure.IQ,), sim=SIM,
+            seed=3, protection="ecc")
+        assert result.protection.label() == "secded"
+
+    def test_per_structure_protection_applies_only_to_override(self):
+        config = ProtectionConfig.parse("iq=parity")
+        result = run_live_campaign(
+            WORKLOAD, injections=8,
+            structures=(Structure.IQ, Structure.ROB), sim=SIM,
+            seed=3, protection=config)
+        by_struct = {}
+        for r in result.records:
+            by_struct.setdefault(r.structure, set()).add(r.outcome)
+        assert InjectionOutcome.DUE in by_struct[Structure.IQ]
+        assert by_struct[Structure.IQ] <= {InjectionOutcome.MASKED_IDLE,
+                                           InjectionOutcome.DUE}
+        # The unprotected ROB still produces raw (unresolved) outcomes.
+        assert by_struct[Structure.ROB] & {InjectionOutcome.MASKED,
+                                           InjectionOutcome.SDC,
+                                           InjectionOutcome.HANG,
+                                           InjectionOutcome.DUE,
+                                           InjectionOutcome.MASKED_IDLE}
+        assert InjectionOutcome.CORRECTED not in by_struct[Structure.ROB]
+
+
+# -- multi-bit upsets --------------------------------------------------------------
+
+
+class TestMbuCampaigns:
+    def test_records_carry_cluster_lengths(self):
+        result = run_live_campaign(
+            WORKLOAD, injections=16, structures=(Structure.IQ,), sim=SIM,
+            seed=7, mbu=MbuConfig(max_len=3))
+        lens = {r.cluster_len for r in result.records}
+        assert lens <= {1, 2, 3}
+        assert len(lens) > 1  # the length distribution actually fires
+
+    def test_secded_leaks_triples_as_due_or_miss(self):
+        result = run_live_campaign(
+            WORKLOAD, injections=24, structures=(Structure.IQ,), sim=SIM,
+            seed=7, protection=ProtectionScheme.SECDED,
+            mbu=MbuConfig(max_len=3, weights=(0.0, 0.5, 0.5)))
+        outcomes = {r.outcome for r in result.records}
+        # Doubles are detected (DUE); triples escape the code entirely and
+        # run to differential classification.
+        assert InjectionOutcome.DUE in outcomes
+        assert outcomes - {InjectionOutcome.DUE, InjectionOutcome.CORRECTED,
+                           InjectionOutcome.MASKED_IDLE}
+
+    def test_mbu_jobs_1_and_4_byte_identical(self):
+        kwargs = dict(workload=WORKLOAD, injections=12,
+                      structures=(Structure.IQ, Structure.ROB),
+                      sim=SIM, seed=42, mbu=MbuConfig(max_len=3),
+                      live=LiveConfig(strike_batch=5))
+        serial = run_live_campaign(jobs=1, **kwargs)
+        fanned = run_live_campaign(jobs=4, **kwargs)
+        assert ([r.to_payload() for r in serial.records]
+                == [r.to_payload() for r in fanned.records])
+
+
+class TestMbuSamplingProperties:
+    """Hypothesis pins on the burst geometry and the seeded sampler."""
+
+    @given(structure=st.sampled_from(sorted(ENTRY_LAYOUT, key=lambda s: s.value)),
+           bit=st.integers(min_value=0, max_value=4096),
+           length=st.integers(min_value=1, max_value=MAX_CLUSTER_LEN))
+    @settings(max_examples=200, deadline=None)
+    def test_bursts_never_cross_field_boundaries(self, structure, bit, length):
+        bit %= entry_bits(structure)
+        burst = burst_bits(structure, bit, length)
+        assert burst[0] == bit
+        assert 1 <= len(burst) <= length
+        assert list(burst) == list(range(bit, bit + len(burst)))
+        field, _ = locate_field(structure, bit)
+        for b in burst:
+            assert locate_field(structure, b)[0] == field
+
+    @given(max_len=st.integers(min_value=2, max_value=MAX_CLUSTER_LEN),
+           seed=st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_sampled_lengths_stay_in_range(self, max_len, seed):
+        import numpy as np
+        mbu = MbuConfig(max_len=max_len)
+        rng = np.random.default_rng(seed)
+        draws = {mbu.sample_length(rng) for _ in range(64)}
+        assert draws <= set(range(1, max_len + 1))
+
+    def test_sampled_lengths_follow_weights(self):
+        import numpy as np
+        mbu = MbuConfig(max_len=3, weights=(0.5, 0.3, 0.2))
+        rng = np.random.default_rng(1234)
+        n = 20000
+        counts = {1: 0, 2: 0, 3: 0}
+        for _ in range(n):
+            counts[mbu.sample_length(rng)] += 1
+        for length, weight in zip((1, 2, 3), mbu.weights):
+            assert counts[length] / n == pytest.approx(weight, abs=0.02)
+
+    def test_effective_distribution_sums_to_one(self):
+        mbu = MbuConfig(max_len=3)
+        for structure in ENTRY_LAYOUT:
+            dist = effective_length_distribution(structure, mbu)
+            assert sum(dist.values()) == pytest.approx(1.0)
+            # Boundary clipping only ever shortens clusters.
+            assert dist[1] >= mbu.length_probs()[1]
+
+
+# -- backward compatibility --------------------------------------------------------
+
+
+class TestSingleBitBackwardCompat:
+    """The default (single-bit, unprotected) path is byte-identical to the
+    campaign records captured before the ProtectionConfig/MBU refactor.
+
+    The fixture was captured at the pre-refactor commit from
+    ``run_live_campaign(("gcc", "mcf"), injections=8,
+    sim=SimConfig(max_instructions=400, seed=5), seed=42)`` — golden
+    cycles, per-outcome tallies, and every strike record's payload.
+    """
+
+    def test_default_records_match_pre_refactor_golden(self):
+        import json
+
+        golden = Path(__file__).parent / "golden" / "live_records_default.json"
+        expected = json.loads(golden.read_text())
+        result = run_live_campaign(WORKLOAD, injections=8, sim=SIM, seed=42)
+        payload = [r.to_payload() for r in result.records]
+        assert payload == expected["records"]
+        assert result.cycles == expected["cycles"]
+        # And no record grew a cluster_len key on the default path.
+        assert all("cluster_len" not in p for p in payload)
 
 
 # -- determinism across worker counts (satellite: seeded substreams) ---------------

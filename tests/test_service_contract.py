@@ -669,6 +669,59 @@ class TestCancellation:
         assert status == 200
 
 
+class TestProtectionSpecs:
+    """v2 spec fields: heterogeneous protection and MBU clusters."""
+
+    def test_equivalent_protection_spellings_dedup(self, service):
+        spellings = ["ecc", "secded", {"default": "secded"}]
+        ids = []
+        for protection in spellings:
+            _, payload, _ = service.request(
+                "POST", "/campaigns",
+                body=dict(TINY_LIVE, protection=protection))
+            ids.append(payload["id"])
+        assert len(set(ids)) == 1
+        final = service.finish(ids[0])
+        assert final["state"] == "done"
+        _, wrapped, _ = service.request("GET", f"/campaigns/{ids[0]}/result")
+        assert wrapped["result"]["protection"] == "secded"
+
+    def test_per_structure_protection_and_mbu_round_trip(self, service):
+        body = dict(TINY_LIVE, protection="iq=parity", mbu_len=3)
+        status, payload, _ = service.request("POST", "/campaigns", body=body)
+        assert status == 201
+        cid = payload["id"]
+        assert service.finish(cid)["state"] == "done"
+        _, wrapped, _ = service.request("GET", f"/campaigns/{cid}/result")
+        assert wrapped["result"]["protection"] == "IQ=parity"
+        assert wrapped["result"]["mbu_len"] == 3
+        assert all(r["cluster_len"] <= 3
+                   for r in wrapped["result"]["records"]
+                   if "cluster_len" in r)
+
+    def test_mbu_len_splits_identity(self, service):
+        _, first, _ = service.request("POST", "/campaigns", body=TINY_LIVE)
+        _, second, _ = service.request(
+            "POST", "/campaigns", body=dict(TINY_LIVE, mbu_len=2))
+        assert first["id"] != second["id"]
+        service.finish(first["id"])
+        service.finish(second["id"])
+
+    def test_invalid_protection_rejected_with_valid_set(self, service):
+        status, payload, _ = service.request(
+            "POST", "/campaigns",
+            body=dict(TINY_LIVE, protection="hamming"))
+        assert status == 400
+        check(payload, "error")
+        assert "secded" in payload["error"]
+
+    def test_out_of_range_mbu_len_rejected(self, service):
+        status, payload, _ = service.request(
+            "POST", "/campaigns", body=dict(TINY_LIVE, mbu_len=9))
+        assert status == 400
+        check(payload, "error")
+
+
 class TestIntegrity:
     def test_corrupt_artifact_is_refused_with_digest(self, service):
         _, payload, _ = service.request("POST", "/campaigns", body=TINY_LIVE)
