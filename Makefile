@@ -4,7 +4,7 @@ PYTHON ?= python
 
 .PHONY: install test test-chaos bench bench-kernel bench-kernel-check \
 	reproduce reproduce-smoke inject-smoke frontier-smoke serve-smoke \
-	serve-recovery-smoke test-service examples clean
+	serve-recovery-smoke fleet-smoke test-service test-fleet examples clean
 
 SMOKE_DIR ?= .smoke
 
@@ -112,12 +112,23 @@ serve-smoke:
 serve-recovery-smoke:
 	PYTHONPATH=src $(PYTHON) tools/serve_smoke.py --kill-after 2
 
+# Fleet chaos drill: a real server, three real worker shards (one
+# SIGKILLed mid-batch, one behind partition chaos), and a byte-identity
+# assert against a clean fleet-less run of the identical spec.
+fleet-smoke:
+	PYTHONPATH=src $(PYTHON) tools/fleet_smoke.py
+
 # The service contract suite: golden response schemas, concurrency
 # dedup, admission control, cancellation, chaos isolation between
 # campaigns — plus the journal/recovery suite.
 test-service:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q tests/test_service_contract.py \
 		tests/test_service_recovery.py
+
+# The fleet suite: lease ledger, wire codec, exactly-once/fencing
+# acceptance scenarios, and the per-network-mode chaos differentials.
+test-fleet:
+	PYTHONPATH=src $(PYTHON) -m pytest -x -q tests/test_fleet.py
 
 examples:
 	for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f || exit 1; done

@@ -459,7 +459,40 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     run_service(args.store, host=args.host, port=args.port,
                 workers=args.workers, max_running=args.max_running,
-                max_queued=args.max_queued, ready=ready)
+                max_queued=args.max_queued, ready=ready,
+                lease_timeout=args.lease_timeout,
+                hedge_after=args.hedge_after)
+    return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    import signal
+
+    from repro.resilience.chaos import NetworkChaos
+    from repro.service.fleet import ChaosTransport, HttpTransport, ShardAgent
+
+    base = args.connect
+    transport = HttpTransport(base)
+    chaos = NetworkChaos()
+    if chaos:
+        transport = ChaosTransport(transport, chaos)
+    agent = ShardAgent(transport, shard_id=args.shard_id, jobs=args.jobs,
+                       heartbeat_interval=args.heartbeat_interval,
+                       poll_wait=args.poll_wait, chaos=chaos)
+
+    def stop(signum, frame) -> None:
+        agent.request_stop()
+
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            signal.signal(signum, stop)
+        except (ValueError, OSError):
+            pass  # not the main thread (tests drive run() directly)
+    print(f"worker shard {agent.shard_id} connecting to {base}"
+          + (" [network chaos armed]" if chaos else ""), flush=True)
+    done = agent.run(max_batches=args.max_batches)
+    print(f"worker shard {agent.shard_id} stopped after {done} "
+          f"committed batch(es)", flush=True)
     return 0
 
 
@@ -768,6 +801,32 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--max-queued", type=_non_negative_int, default=64,
                        help="admission queue bound; submissions beyond it "
                             "get 429 + Retry-After")
+    serve.add_argument("--lease-timeout", type=_positive_float, default=15.0,
+                       help="seconds a fleet shard's batch lease lives "
+                            "without a heartbeat before it is reclaimed "
+                            "and redispatched")
+    serve.add_argument("--hedge-after", type=_positive_float, default=30.0,
+                       help="seconds a leased batch may run before a "
+                            "second shard is hedged in (first valid "
+                            "commit wins)")
+
+    worker = sub.add_parser("worker",
+                            help="run a fleet worker shard against a "
+                                 "campaign service")
+    worker.add_argument("--connect", required=True, metavar="HOST:PORT",
+                        help="campaign service to register with")
+    worker.add_argument("--shard-id", default=None,
+                        help="shard identity (default: hostname-pid)")
+    worker.add_argument("--jobs", type=_positive_int, default=1,
+                        help="local worker processes for batch execution")
+    worker.add_argument("--heartbeat-interval", type=_positive_float,
+                        default=2.0,
+                        help="seconds between lease-renewal heartbeats")
+    worker.add_argument("--poll-wait", type=_positive_float, default=10.0,
+                        help="long-poll seconds per work request")
+    worker.add_argument("--max-batches", type=_positive_int, default=None,
+                        help="exit after committing this many batches "
+                             "(default: run until stopped or drained)")
 
     submit = sub.add_parser("submit",
                             help="submit a campaign spec to a running "
@@ -816,6 +875,7 @@ _COMMANDS = {
     "rmt": _cmd_rmt,
     "reproduce": _cmd_reproduce,
     "serve": _cmd_serve,
+    "worker": _cmd_worker,
     "submit": _cmd_submit,
     "cancel": _cmd_cancel,
 }

@@ -12,11 +12,15 @@ Spec grammar (comma-separated rules)::
 
     REPRO_CHAOS = rule ("," rule)*
     rule        = mode ":" match [":" attempts [":" seconds]]
-    mode        = "crash" | "hang" | "corrupt" | "raise"
-    match       = substring of the job label, or "*" for every job
-    attempts    = misbehave while the job's attempt number is below this
-                  ("*" = on every attempt; default 1 = first attempt only)
-    seconds     = hang duration (hang mode only; default 3600)
+    mode        = "crash" | "hang" | "corrupt" | "raise"        (worker)
+                | "drop" | "delay" | "partition" | "slow" | "zombie"  (network)
+    match       = substring of the job label (worker modes, and "slow"),
+                  or of the transport operation name (network modes:
+                  "register", "poll", "heartbeat", "commit"); "*" = all
+    attempts    = misbehave while the occurrence count is below this
+                  ("*" = always; default 1 = first occurrence only)
+    seconds     = duration (hang sleep, delay latency, partition window,
+                  slow stall, zombie commit lag; per-mode default)
 
 Examples::
 
@@ -24,26 +28,54 @@ Examples::
     hang:fig5:1:30           # first attempt of any fig5 job stalls 30s
     corrupt:*:*              # every job returns a garbage payload, always
     raise:2-CPU-A:2          # raise on 2-CPU-A's first two attempts
+    drop:commit:2            # swallow the shard's first two commits
+    partition:*:1:4          # one 4s full partition at first traffic
+    slow:live/gcc:*:3        # every live/gcc batch stalls 3s before running
+    zombie:*:1:6             # take one batch, go silent; commit 6s late
 
-``crash`` calls :func:`os._exit` (a hard worker death, breaking the process
-pool), ``hang`` sleeps (tripping the per-job timeout), ``corrupt`` makes
-the worker return an unparseable payload, and ``raise`` throws an ordinary
+Worker modes act inside the worker process: ``crash`` calls
+:func:`os._exit` (a hard worker death, breaking the process pool),
+``hang`` sleeps (tripping the per-job timeout), ``corrupt`` makes the
+worker return an unparseable payload, and ``raise`` throws an ordinary
 exception (the soft-failure path).
+
+Network modes act at the *shard transport layer* (PR-10 fleet): ``drop``
+swallows matching operations, ``delay`` adds latency before them,
+``partition`` fails **all** traffic for a window once triggered (the
+shard stays alive — the server must fence its late commits), ``slow``
+stalls batch *execution* (tripping the server's hedged redispatch), and
+``zombie`` lets the shard acquire ``attempts`` batches normally, then
+silences its heartbeats and polls while the held batch finishes and
+commits late (the fencing-token acid test).  They are
+driven by :class:`NetworkChaos`, which the fleet's transports consult;
+worker pools never act on them (:meth:`ChaosSpec.rule_for` filters by
+mode family).
 """
 
 from __future__ import annotations
 
 import os
+import threading
 import time
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.errors import ConfigError, ReproError
 
 #: Environment variable holding the chaos spec (unset/empty = chaos off).
 CHAOS_ENV_VAR = "REPRO_CHAOS"
 
+#: Worker-process misbehaviour (acted out by :func:`misbehave`).
 MODES = ("crash", "hang", "corrupt", "raise")
+
+#: Shard-transport misbehaviour (acted out by :class:`NetworkChaos`).
+NETWORK_MODES = ("drop", "delay", "partition", "slow", "zombie")
+
+ALL_MODES = MODES + NETWORK_MODES
+
+#: Per-mode default for the ``seconds`` field when a rule omits it.
+DEFAULT_SECONDS = {"hang": 3600.0, "delay": 0.2, "partition": 5.0,
+                   "slow": 1.0, "zombie": 5.0}
 
 #: Exit status of a chaos-crashed worker (distinctive in process tables).
 CRASH_EXIT_CODE = 23
@@ -95,9 +127,9 @@ class ChaosSpec:
                     f"bad chaos rule {raw!r}: want mode:match[:attempts"
                     f"[:seconds]]")
             mode, match = parts[0], parts[1]
-            if mode not in MODES:
+            if mode not in ALL_MODES:
                 raise ConfigError(f"bad chaos mode {mode!r}; "
-                                  f"known: {', '.join(MODES)}")
+                                  f"known: {', '.join(ALL_MODES)}")
             if not match:
                 raise ConfigError(f"bad chaos rule {raw!r}: empty match")
             attempts: Optional[int] = 1
@@ -114,7 +146,7 @@ class ChaosSpec:
                     if attempts < 1:
                         raise ConfigError(
                             f"chaos attempts must be >= 1 in {raw!r}")
-            seconds = 3600.0
+            seconds = DEFAULT_SECONDS.get(mode, 3600.0)
             if len(parts) == 4:
                 try:
                     seconds = float(parts[3])
@@ -134,9 +166,18 @@ class ChaosSpec:
             return cls()
         return cls.parse(raw)
 
-    def rule_for(self, label: str, attempt: int) -> Optional[ChaosRule]:
-        """The first rule scheduled for this (job, attempt), if any."""
+    def rule_for(self, label: str, attempt: int,
+                 modes: Tuple[str, ...] = MODES) -> Optional[ChaosRule]:
+        """The first rule scheduled for this (job, attempt), if any.
+
+        ``modes`` selects the rule family: worker pools query with the
+        default (:data:`MODES`), so a network rule in the environment
+        never detonates inside a worker process — it is the transport
+        layer's business (:class:`NetworkChaos`).
+        """
         for rule in self.rules:
+            if rule.mode not in modes:
+                continue
             if rule.applies(label, attempt):
                 return rule
         return None
@@ -156,3 +197,107 @@ def misbehave(rule: ChaosRule, label: str) -> None:
         time.sleep(rule.seconds)
     elif rule.mode == "raise":
         raise ChaosInjectedError(f"chaos: injected failure for {label}")
+
+
+class ChaosDropped(ReproError):
+    """A transport operation swallowed by a network chaos rule.
+
+    To the shard this is indistinguishable from a real connection error,
+    which is the point: the agent's retry/lease machinery must absorb it.
+    """
+
+
+class NetworkChaos:
+    """Acts out the network chaos modes at a shard's transport layer.
+
+    One instance lives inside each chaos-wrapped transport and is
+    consulted before every operation (``register``, ``poll``,
+    ``heartbeat``, ``commit``).  ``drop`` raises :class:`ChaosDropped`
+    for matching ops, ``delay`` sleeps first, ``partition`` fails *all*
+    traffic for a window once a matching op triggers it, and ``zombie``
+    lets ``attempts`` polls through (the shard acquires work like a
+    healthy peer), then silences heartbeats and polls for good while
+    stalling commits by ``seconds`` (so the server's fencing logic — not
+    shard cooperation — must reject the late result).  ``slow`` stalls batch *execution*,
+    not transport: the agent asks :meth:`slow_for` before running a
+    batch, matched against the job label.
+
+    Occurrence counting is per (rule, operation) and thread-safe — the
+    agent's heartbeat thread and its work loop share this object.
+    """
+
+    def __init__(self, spec: Optional[ChaosSpec] = None, *,
+                 clock=time.monotonic, sleep=time.sleep) -> None:
+        self.spec = ChaosSpec.from_env() if spec is None else spec
+        self._clock = clock
+        self._sleep = sleep
+        self._lock = threading.Lock()
+        self._counts: Dict[Tuple[str, str, str], int] = {}
+        self._partition_until = 0.0
+
+    def __bool__(self) -> bool:
+        return any(rule.mode in NETWORK_MODES for rule in self.spec.rules)
+
+    def _claim(self, rule: ChaosRule, op: str) -> bool:
+        """Does ``rule`` fire for this occurrence of ``op``?  Counts it."""
+        if rule.match != "*" and rule.match not in op:
+            return False
+        key = (rule.mode, rule.match, op)
+        with self._lock:
+            count = self._counts.get(key, 0)
+            if rule.attempts is not None and count >= rule.attempts:
+                return False
+            self._counts[key] = count + 1
+        return True
+
+    def perform(self, op: str) -> None:
+        """Gate one transport operation; raise or stall per the spec."""
+        now = self._clock()
+        with self._lock:
+            partitioned = now < self._partition_until
+        if partitioned:
+            raise ChaosDropped(f"chaos: partitioned, {op} unreachable")
+        for rule in self.spec.rules:
+            if rule.mode == "zombie":
+                # A zombie first *acquires* work like a healthy shard —
+                # ``attempts`` polls go through (default 1: take one
+                # batch) — then falls permanently silent: later polls
+                # and every heartbeat drop, and commits arrive
+                # ``seconds`` late, after the server has already
+                # reclaimed the lease.  ``attempts`` of '*' means born
+                # silent.
+                if rule.match != "*" and rule.match not in op:
+                    continue
+                key = (rule.mode, rule.match, "polls")
+                with self._lock:
+                    polls = self._counts.get(key, 0)
+                    if op == "poll":
+                        self._counts[key] = polls + 1
+                if rule.attempts is not None and polls < rule.attempts:
+                    continue  # still pre-zombie: behave normally
+                if op in ("heartbeat", "poll"):
+                    raise ChaosDropped(f"chaos: zombie shard drops {op}")
+                if op == "commit":
+                    self._sleep(rule.seconds)
+                continue
+            if rule.mode not in ("drop", "delay", "partition"):
+                continue
+            if not self._claim(rule, op):
+                continue
+            if rule.mode == "drop":
+                raise ChaosDropped(f"chaos: dropped {op}")
+            if rule.mode == "delay":
+                self._sleep(rule.seconds)
+            elif rule.mode == "partition":
+                with self._lock:
+                    self._partition_until = now + rule.seconds
+                raise ChaosDropped(
+                    f"chaos: partition began, {op} unreachable")
+
+    def slow_for(self, label: str) -> float:
+        """Seconds a ``slow`` rule stalls a batch with this label (0 = none)."""
+        total = 0.0
+        for rule in self.spec.rules:
+            if rule.mode == "slow" and self._claim(rule, label):
+                total += rule.seconds
+        return total

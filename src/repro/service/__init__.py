@@ -31,13 +31,39 @@ through the per-batch cache — finished batches are never recomputed and
 recovered artefacts are byte-identical to an uninterrupted run's.
 Admission control bounds the queue (429 + ``Retry-After`` beyond it) and
 ``DELETE /campaigns/{id}`` cancels with a graceful supervisor drain.
+
+Multi-host fleets (:mod:`repro.service.fleet`, :mod:`repro.service.leases`):
+remote worker shards (``repro-sim worker --connect``) register over the
+same HTTP protocol and run live batches under time-bounded, heartbeat-
+renewed leases with fencing tokens — at-least-once dispatch, exactly-once
+commit, hedged redispatch of slow shards, and graceful degradation to
+the local pool when the whole fleet is lost.
 """
 
+from repro.service.fleet import (
+    DEFAULT_HEARTBEAT_INTERVAL,
+    DEFAULT_HEDGE_AFTER,
+    ChaosTransport,
+    FleetCoordinator,
+    FleetError,
+    FleetExecutor,
+    HttpTransport,
+    ShardAgent,
+    job_from_wire,
+    job_to_wire,
+)
 from repro.service.journal import (
+    FLEET_ID_PREFIX,
+    SERVICE_ID,
     SERVICE_JOURNAL_NAME,
     SERVICE_JOURNAL_VERSION,
     JournaledCampaign,
     ServiceJournal,
+)
+from repro.service.leases import (
+    DEFAULT_LEASE_TIMEOUT,
+    Lease,
+    LeaseTable,
 )
 from repro.service.scheduler import (
     DEFAULT_MAX_QUEUED,
@@ -63,15 +89,30 @@ __all__ = [
     "CampaignServer",
     "CampaignSpec",
     "CancelConflict",
+    "ChaosTransport",
+    "DEFAULT_HEARTBEAT_INTERVAL",
+    "DEFAULT_HEDGE_AFTER",
+    "DEFAULT_LEASE_TIMEOUT",
     "DEFAULT_MAX_QUEUED",
     "DEFAULT_MAX_RUNNING",
+    "FLEET_ID_PREFIX",
+    "FleetCoordinator",
+    "FleetError",
+    "FleetExecutor",
+    "HttpTransport",
     "JournaledCampaign",
+    "Lease",
+    "LeaseTable",
     "QueueFull",
+    "SERVICE_ID",
     "SERVICE_JOURNAL_NAME",
     "SERVICE_JOURNAL_VERSION",
     "SPEC_SCHEMA_VERSION",
     "ServiceJournal",
+    "ShardAgent",
     "SpecError",
+    "job_from_wire",
+    "job_to_wire",
     "parse_spec",
     "run_service",
     "validate_schema",

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Optional, Union
@@ -44,6 +45,16 @@ SERVICE_JOURNAL_NAME = "service-journal.jsonl"
 
 #: Campaign states that end a lifecycle (no recovery owed).
 TERMINAL_EVENTS = ("done", "degraded", "failed", "cancelled")
+
+#: Journal id prefix for fleet lease events.  Lease grant/renew/expire/
+#: reclaim/fence records are observability, not recovery state: they are
+#: keyed per batch digest (never per campaign, so a late lease event can
+#: never flip a finished campaign back to "interrupted") and compaction
+#: drops them wholesale.
+FLEET_ID_PREFIX = "fleet:"
+
+#: Journal id of service-level lifecycle records (e.g. clean ``shutdown``).
+SERVICE_ID = "__service__"
 
 
 @dataclass
@@ -71,32 +82,48 @@ class ServiceJournal:
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._seq = 0
+        # Lease events arrive from fleet transport threads while the
+        # scheduler journals campaign transitions and startup compaction
+        # rewrites the file: one lock makes each append atomic against
+        # the compaction's replay-rewrite-replace window, so a record
+        # written during compaction can never vanish into the replaced
+        # file.
+        self._lock = threading.Lock()
 
     # -- recording -------------------------------------------------------------------
 
     def record(self, campaign_id: str, event: str,
                request: Optional[dict] = None,
-               priority: int = 0) -> None:
-        """Append one lifecycle transition; durable when this returns."""
+               priority: int = 0,
+               extra: Optional[Dict[str, object]] = None) -> None:
+        """Append one lifecycle transition; durable when this returns.
+
+        ``extra`` carries event particulars (lease shard/token, shutdown
+        reason) that replay ignores but operators and tests can read —
+        the folded lifecycle state never depends on it.
+        """
         entry: Dict[str, object] = {
             "schema": SERVICE_JOURNAL_VERSION,
             "event": event,
             "id": campaign_id,
         }
-        if request is not None:
-            self._seq += 1
-            entry["request"] = request
-            entry["priority"] = priority
-            entry["seq"] = self._seq
-        blob = json.dumps(entry, sort_keys=True) + "\n"
-        # One O_APPEND write per event: concurrent recorders (there is
-        # one, behind the scheduler lock, but the guarantee is cheap)
-        # never interleave partial lines, and a crash can truncate at
-        # most the final line — exactly what replay tolerates.
-        with self.path.open("a") as fh:
-            fh.write(blob)
-            fh.flush()
-            os.fsync(fh.fileno())
+        if extra:
+            for name, value in extra.items():
+                entry.setdefault(name, value)
+        with self._lock:
+            if request is not None:
+                self._seq += 1
+                entry["request"] = request
+                entry["priority"] = priority
+                entry["seq"] = self._seq
+            blob = json.dumps(entry, sort_keys=True) + "\n"
+            # One O_APPEND write per event: concurrent recorders never
+            # interleave partial lines, and a crash can truncate at most
+            # the final line — exactly what replay tolerates.
+            with self.path.open("a") as fh:
+                fh.write(blob)
+                fh.flush()
+                os.fsync(fh.fileno())
 
     # -- replay ----------------------------------------------------------------------
 
@@ -107,6 +134,10 @@ class ServiceJournal:
         with a diagnostic (see
         :func:`repro.resilience.journal.replay_jsonl`).
         """
+        with self._lock:
+            return self._replay_locked()
+
+    def _replay_locked(self) -> Dict[str, JournaledCampaign]:
         records: Dict[str, JournaledCampaign] = {}
         if not self.path.exists():
             return records
@@ -146,30 +177,41 @@ class ServiceJournal:
         Run at startup after recovery decisions are made: the folded
         state is all future replays can use, so dropping superseded
         transitions bounds journal growth across restart cycles without
-        losing recovery information.  The rewrite goes through a temp
-        file and :func:`os.replace`, so a crash mid-compaction leaves
-        either the old journal or the new one, never a mix.
+        losing recovery information.  Fleet lease records
+        (``fleet:<digest>`` ids) are observability only and are dropped
+        wholesale, so heartbeat-renewal traffic never accretes across
+        restarts.  The rewrite goes through a temp file and
+        :func:`os.replace`, so a crash mid-compaction leaves either the
+        old journal or the new one, never a mix — and the whole
+        replay-rewrite-replace window holds the journal lock, so a
+        record appended by a concurrent writer (a campaign submission, a
+        lease renewal) lands strictly before or strictly after the
+        compacted file, never inside the discarded one.
         """
-        records = self.replay()
-        tmp = self.path.with_name(f"{self.path.name}.tmp{os.getpid()}")
-        try:
-            with tmp.open("w") as fh:
-                for record in sorted(records.values(), key=lambda r: r.seq):
-                    entry: Dict[str, object] = {
-                        "schema": SERVICE_JOURNAL_VERSION,
-                        "event": record.state,
-                        "id": record.campaign_id,
-                    }
-                    if record.request is not None:
-                        entry["request"] = record.request
-                        entry["priority"] = record.priority
-                        entry["seq"] = record.seq
-                    fh.write(json.dumps(entry, sort_keys=True) + "\n")
-                fh.flush()
-                os.fsync(fh.fileno())
-            os.replace(tmp, self.path)
-        finally:
+        with self._lock:
+            records = self._replay_locked()
+            tmp = self.path.with_name(f"{self.path.name}.tmp{os.getpid()}")
             try:
-                tmp.unlink()
-            except OSError:
-                pass
+                with tmp.open("w") as fh:
+                    for record in sorted(records.values(),
+                                         key=lambda r: r.seq):
+                        if record.campaign_id.startswith(FLEET_ID_PREFIX):
+                            continue
+                        entry: Dict[str, object] = {
+                            "schema": SERVICE_JOURNAL_VERSION,
+                            "event": record.state,
+                            "id": record.campaign_id,
+                        }
+                        if record.request is not None:
+                            entry["request"] = record.request
+                            entry["priority"] = record.priority
+                            entry["seq"] = record.seq
+                        fh.write(json.dumps(entry, sort_keys=True) + "\n")
+                    fh.flush()
+                    os.fsync(fh.fileno())
+                os.replace(tmp, self.path)
+            finally:
+                try:
+                    tmp.unlink()
+                except OSError:
+                    pass

@@ -156,7 +156,8 @@ class CampaignScheduler:
     def __init__(self, store: ArtifactStore, workers: int = 2,
                  max_running: int = DEFAULT_MAX_RUNNING,
                  max_queued: int = DEFAULT_MAX_QUEUED,
-                 journal: Optional[ServiceJournal] = None) -> None:
+                 journal: Optional[ServiceJournal] = None,
+                 fleet=None) -> None:
         if workers < 1:
             raise ReproError("workers must be >= 1")
         if max_running < 1:
@@ -168,6 +169,11 @@ class CampaignScheduler:
         self.max_running = max_running
         self.max_queued = max_queued
         self.journal = journal
+        #: Optional :class:`~repro.service.fleet.FleetCoordinator`.  With
+        #: no fleet — or a fleet with zero connected shards — every
+        #: campaign runs on its local pool exactly as before PR-10.
+        self.fleet = fleet
+        self._draining = False
         self._lock = threading.Condition()
         self._campaigns: Dict[str, _Campaign] = {}
         self._threads: Dict[str, threading.Thread] = {}
@@ -320,7 +326,8 @@ class CampaignScheduler:
 
     def _admit_locked(self) -> None:
         """Fill free running slots from the queue (FIFO within priority)."""
-        while self._queue and len(self._running) < self.max_running:
+        while (self._queue and len(self._running) < self.max_running
+               and not self._draining):
             cid = min(self._queue,
                       key=lambda c: (-self._campaigns[c].priority,
                                      self._campaigns[c].seq))
@@ -396,6 +403,12 @@ class CampaignScheduler:
                                     key=lambda c: (c.created, c.id))]
 
     def stats(self) -> Dict[str, object]:
+        if self.fleet is not None:
+            fleet_stats = self.fleet.stats()
+        else:
+            from repro.service.fleet import empty_fleet_stats
+
+            fleet_stats = empty_fleet_stats()
         with self._lock:
             states: Dict[str, int] = {}
             for campaign in self._campaigns.values():
@@ -408,7 +421,8 @@ class CampaignScheduler:
                               "running": len(self._running),
                               "max_queued": self.max_queued,
                               "max_running": self.max_running},
-                    "states": states}
+                    "states": states,
+                    "fleet": fleet_stats}
 
     def result_bytes(self, campaign_id: str) -> Optional[bytes]:
         """The final artifact's exact bytes, or None if not finished.
@@ -456,6 +470,44 @@ class CampaignScheduler:
         deadline = time.monotonic() + timeout
         for thread in list(self._threads.values()):
             thread.join(max(0.0, deadline - time.monotonic()))
+
+    def shutdown(self) -> None:
+        """Graceful service drain (SIGTERM), in strict order.
+
+        1. Stop granting fleet leases (shards see ``draining`` and wind
+           down; in-flight leased batches may still commit).
+        2. Ask every running campaign's supervisor/executor to drain:
+           finished in-flight batches commit to the cache within the
+           campaign's ``job_timeout`` grace, the rest are reclaimed, and
+           the campaign journals the non-terminal ``drained`` state so
+           the next service life resumes it.
+        3. Journal a clean service ``shutdown`` record.
+
+        The server closes its listening socket only after this returns —
+        a client is never mid-request when the journal says the service
+        exited cleanly.
+        """
+        from repro.resilience.supervisor import DEFAULT_ABORT_GRACE
+        from repro.service.journal import SERVICE_ID
+
+        with self._lock:
+            self._draining = True
+            running = [self._campaigns[cid] for cid in self._running
+                       if cid in self._campaigns]
+            supervisors = dict(self._supervisors)
+        if self.fleet is not None:
+            self.fleet.close()
+        grace = 0.0
+        for campaign in running:
+            grace = max(grace, float(campaign.spec.budget.job_timeout
+                                     or DEFAULT_ABORT_GRACE))
+            supervisor = supervisors.get(campaign.id)
+            if supervisor is not None:
+                supervisor.request_stop()
+        self.join(timeout=grace + 10.0 if running else 5.0)
+        if self.journal is not None:
+            self.journal.record(SERVICE_ID, "shutdown",
+                                extra={"drained": len(running)})
 
     # -- snapshots -----------------------------------------------------------------
 
@@ -536,16 +588,40 @@ class CampaignScheduler:
         return Supervisor(max_workers=self.workers, policy=policy,
                           worker_env=env, on_failure=record)
 
+    def _maybe_fleet(self, campaign: _Campaign, supervisor: Supervisor):
+        """Route a campaign through the worker fleet when one is live.
+
+        Only live campaigns shard over the fleet (their batches are the
+        content-hashed exactly-once unit); everything else — and every
+        campaign starting while zero shards are connected — runs on its
+        local pool exactly as without a fleet.
+        """
+        if (self.fleet is None or campaign.spec.kind != "live"
+                or self.fleet.connected_shards() == 0):
+            return supervisor
+        from repro.service.fleet import FleetExecutor
+
+        def degraded() -> None:
+            # Whole-fleet loss mid-campaign: journaled under the
+            # campaign id (non-terminal — if the process then dies the
+            # campaign is still owed) before the local pool takes over.
+            self._bump(campaign,
+                       lambda c: self._journal(c, "fleet_degraded"))
+
+        return FleetExecutor(self.fleet, campaign.id, supervisor,
+                             on_degraded=degraded)
+
     def _execute(self, campaign: _Campaign) -> None:
         def start_running(c: _Campaign) -> None:
             self._journal(c, "running")
             c.state = "running"
         self._bump(campaign, start_running)
-        supervisor = self._supervisor(campaign)
+        supervisor = self._maybe_fleet(campaign, self._supervisor(campaign))
         with self._lock:
             self._supervisors[campaign.id] = supervisor
-            if campaign.cancel_requested:
-                # Cancelled in the admission/running gap: drain at once.
+            if campaign.cancel_requested or self._draining:
+                # Cancelled (or service drain began) in the
+                # admission/running gap: drain at once.
                 supervisor.request_stop()
         try:
             try:
@@ -554,6 +630,16 @@ class CampaignScheduler:
                           "reproduce": self._run_reproduce}[campaign.spec.kind]
                 payload, degraded = runner(campaign, supervisor)
             except CampaignCancelled:
+                if self._draining and not campaign.cancel_requested:
+                    # Graceful service shutdown, not a client cancel: the
+                    # campaign is *owed*, not abandoned.  Journal the
+                    # non-terminal ``drained`` state so the next service
+                    # life re-admits it and resumes from the batch cache.
+                    def drained(c: _Campaign) -> None:
+                        self._journal(c, "drained")
+                        c.state = "queued"
+                    self._bump(campaign, drained)
+                    return
                 def cancelled(c: _Campaign) -> None:
                     self._journal(c, "cancelled")
                     c.state = "cancelled"

@@ -38,11 +38,17 @@ from __future__ import annotations
 
 import asyncio
 import json
+import signal
 from typing import Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
 
 from repro.errors import ArtifactIntegrityError
+from repro.service.fleet import (
+    DEFAULT_HEDGE_AFTER,
+    FleetCoordinator,
+)
 from repro.service.journal import SERVICE_JOURNAL_NAME, ServiceJournal
+from repro.service.leases import DEFAULT_LEASE_TIMEOUT
 from repro.service.scheduler import (
     DEFAULT_MAX_QUEUED,
     DEFAULT_MAX_RUNNING,
@@ -50,13 +56,15 @@ from repro.service.scheduler import (
     CancelConflict,
     QueueFull,
 )
-from repro.service.specs import SpecError
+from repro.service.specs import FLEET_SCHEMAS, SpecError, validate_schema
 from repro.service.store import ArtifactStore, canonical_json_bytes
 
 #: Version of the REST/JSON wire contract.  v2 added admission control
 #: (429 + Retry-After + ``queue_position``), DELETE cancellation and the
-#: ``cancelled`` state, ``priority``, and ``batches.cached``.
-API_SCHEMA_VERSION = 2
+#: ``cancelled`` state, ``priority``, and ``batches.cached``.  v3 added
+#: the worker-fleet protocol (``POST /fleet/register|poll|heartbeat|
+#: commit``) and the ``fleet`` counters block in ``/stats``.
+API_SCHEMA_VERSION = 3
 
 #: Refuse request bodies beyond this (a campaign spec is tiny).
 MAX_BODY_BYTES = 1 << 20
@@ -98,13 +106,18 @@ class CampaignServer:
                  host: str = "127.0.0.1", port: int = 0,
                  max_running: int = DEFAULT_MAX_RUNNING,
                  max_queued: int = DEFAULT_MAX_QUEUED,
-                 journal: Optional[ServiceJournal] = None) -> None:
+                 journal: Optional[ServiceJournal] = None,
+                 lease_timeout: float = DEFAULT_LEASE_TIMEOUT,
+                 hedge_after: float = DEFAULT_HEDGE_AFTER) -> None:
         if journal is None:
             journal = ServiceJournal(store.root / SERVICE_JOURNAL_NAME)
+        self.fleet = FleetCoordinator(journal, lease_timeout=lease_timeout,
+                                      hedge_after=hedge_after)
         self.scheduler = CampaignScheduler(store, workers=workers,
                                            max_running=max_running,
                                            max_queued=max_queued,
-                                           journal=journal)
+                                           journal=journal,
+                                           fleet=self.fleet)
         self.host = host
         self.port = port
         self._server: Optional[asyncio.AbstractServer] = None
@@ -247,7 +260,38 @@ class CampaignServer:
             if tail == "result":
                 self._require(method, "GET")
                 return await self._result(campaign_id)
+        if path.startswith("/fleet/"):
+            self._require(method, "POST")
+            return await self._fleet(path[len("/fleet/"):], body)
         raise _HttpError(404, f"no such route: {method} {path}")
+
+    async def _fleet(self, op: str, body: bytes
+                     ) -> Tuple[int, Dict[str, object], None]:
+        schema = FLEET_SCHEMAS.get(op)
+        if schema is None:
+            raise _HttpError(404, f"no such fleet operation: {op!r}")
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise _HttpError(400, f"request body is not valid JSON: {exc}")
+        errors = validate_schema(payload, schema)
+        if errors:
+            raise _HttpError(400, f"bad fleet {op} body: "
+                                  f"{'; '.join(errors)}")
+        shard = payload["shard"]
+        if op == "register":
+            result = self.fleet.register(shard)
+        elif op == "poll":
+            wait = min(float(payload.get("wait", 0.0)), MAX_WAIT_SECONDS)
+            result = await asyncio.to_thread(self.fleet.poll, shard, wait)
+        elif op == "heartbeat":
+            result = await asyncio.to_thread(
+                self.fleet.heartbeat, shard, payload["tokens"])
+        else:
+            result = await asyncio.to_thread(
+                self.fleet.commit, shard, payload["token"],
+                payload["digest"], payload["payload"])
+        return 200, dict(result, api_schema=API_SCHEMA_VERSION), None
 
     @staticmethod
     def _require(method: str, expected: str) -> None:
@@ -342,33 +386,68 @@ class CampaignServer:
 
 
 async def _serve(store_root: str, host: str, port: int, workers: int,
-                 max_running: int, max_queued: int, ready=None) -> None:
+                 max_running: int, max_queued: int, ready=None,
+                 lease_timeout: float = DEFAULT_LEASE_TIMEOUT,
+                 hedge_after: float = DEFAULT_HEDGE_AFTER) -> None:
     server = CampaignServer(ArtifactStore(store_root), workers=workers,
                             host=host, port=port, max_running=max_running,
-                            max_queued=max_queued)
+                            max_queued=max_queued,
+                            lease_timeout=lease_timeout,
+                            hedge_after=hedge_after)
     await server.start()
     if ready is not None:
         ready(server.port)
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(signum, stop.set)
+        except (NotImplementedError, RuntimeError, ValueError):
+            pass  # non-main thread or platform without handlers
+    serving = asyncio.ensure_future(server.serve_forever())
+    stopping = asyncio.ensure_future(stop.wait())
     try:
-        await server.serve_forever()
+        await asyncio.wait({serving, stopping},
+                           return_when=asyncio.FIRST_COMPLETED)
+        if stop.is_set():
+            # Ordered drain: stop granting leases → drain in-flight
+            # campaigns within their job-timeout grace → journal the
+            # clean service shutdown — and only then, in the finally
+            # below, close the listening socket.
+            await asyncio.to_thread(server.scheduler.shutdown)
     except asyncio.CancelledError:
         pass
     finally:
+        for task in (serving, stopping):
+            task.cancel()
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):  # noqa: BLE001
+                pass
         await server.stop()
 
 
 def run_service(store_root: str, host: str = "127.0.0.1", port: int = 8642,
                 workers: int = 2, max_running: int = DEFAULT_MAX_RUNNING,
-                max_queued: int = DEFAULT_MAX_QUEUED, ready=None) -> None:
+                max_queued: int = DEFAULT_MAX_QUEUED, ready=None,
+                lease_timeout: float = DEFAULT_LEASE_TIMEOUT,
+                hedge_after: float = DEFAULT_HEDGE_AFTER) -> None:
     """Run the campaign service until interrupted (the CLI entry point).
 
     ``ready(port)`` is invoked once the socket is bound — which is also
     after journal recovery has re-admitted every interrupted campaign —
     so the smoke harness learns an ephemeral port without racing either
     the bind or the recovery.
+
+    SIGTERM and SIGINT trigger the graceful drain
+    (:meth:`~repro.service.scheduler.CampaignScheduler.shutdown`): leases
+    stop being granted, in-flight work drains within its grace, a clean
+    ``shutdown`` record is journaled, and the socket closes last.
     """
     try:
         asyncio.run(_serve(store_root, host, port, workers, max_running,
-                           max_queued, ready=ready))
+                           max_queued, ready=ready,
+                           lease_timeout=lease_timeout,
+                           hedge_after=hedge_after))
     except KeyboardInterrupt:
         pass

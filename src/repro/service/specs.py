@@ -166,6 +166,48 @@ SPEC_SCHEMA: Dict[str, object] = {
 }
 
 
+#: Structural contracts of the POST /fleet/* request bodies (PR-10).
+#: Validated through the same checker as campaign specs, so a malformed
+#: shard request is a 400 with a field path, never a 500.
+FLEET_SCHEMAS: Dict[str, Dict[str, object]] = {
+    "register": {
+        "type": "object",
+        "required": ["shard"],
+        "additionalProperties": False,
+        "properties": {"shard": {"type": "string"}},
+    },
+    "poll": {
+        "type": "object",
+        "required": ["shard"],
+        "additionalProperties": False,
+        "properties": {
+            "shard": {"type": "string"},
+            "wait": {"type": "number", "minimum": 0},
+        },
+    },
+    "heartbeat": {
+        "type": "object",
+        "required": ["shard", "tokens"],
+        "additionalProperties": False,
+        "properties": {
+            "shard": {"type": "string"},
+            "tokens": {"type": "array", "items": {"type": "integer"}},
+        },
+    },
+    "commit": {
+        "type": "object",
+        "required": ["shard", "token", "digest", "payload"],
+        "additionalProperties": False,
+        "properties": {
+            "shard": {"type": "string"},
+            "token": {"type": "integer", "minimum": 1},
+            "digest": {"type": "string"},
+            "payload": {"type": "object"},
+        },
+    },
+}
+
+
 @dataclass(frozen=True)
 class CampaignBudget:
     """Per-campaign degradation budget (PR-3 semantics, per campaign)."""

@@ -146,6 +146,71 @@ class TestServiceJournal:
         fresh.record("ddd", "submitted", request=TINY_LIVE)
         assert fresh.replay()["ddd"].seq == 4
 
+    def test_compaction_racing_live_writers_drops_no_record(self, tmp_path):
+        """PR-10 satellite: compaction vs. concurrent lease renewals.
+
+        Fleet shards journal lease grant/renew traffic from transport
+        threads while the scheduler journals campaign lifecycles and a
+        startup (or periodic) compaction rewrites the file.  The journal
+        lock must make each append land strictly before or strictly
+        after the compacted file — a ``submitted``/``admitted`` record
+        written during the rewrite window can never vanish.
+        """
+        path = tmp_path / SERVICE_JOURNAL_NAME
+        journal = ServiceJournal(path)
+        stop = threading.Event()
+        written = []
+        errors = []
+
+        def submitter(prefix):
+            try:
+                n = 0
+                while not stop.is_set():
+                    cid = f"{prefix}-{n:04d}"
+                    journal.record(cid, "submitted", request=TINY_LIVE)
+                    journal.record(cid, "admitted")
+                    written.append(cid)
+                    n += 1
+            except Exception as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        def renewer():
+            try:
+                n = 0
+                while not stop.is_set():
+                    journal.record(f"fleet:{n % 7:016d}", "lease_renewed",
+                                   extra={"token": n, "shard": "shard-a"})
+                    n += 1
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = ([threading.Thread(target=submitter, args=(prefix,))
+                    for prefix in ("aa", "bb")]
+                   + [threading.Thread(target=renewer)])
+        for thread in threads:
+            thread.start()
+        compactions = 0
+        try:
+            deadline = time.monotonic() + 2.0
+            while time.monotonic() < deadline:
+                journal.compact()
+                compactions += 1
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join(10)
+        assert not errors
+        assert compactions >= 3 and len(written) >= 10
+
+        records = ServiceJournal(path).replay()
+        for cid in written:
+            assert cid in records, f"compaction dropped {cid}"
+            assert records[cid].state in ("submitted", "admitted")
+        # Lease records compact away wholesale and the survivors replay
+        # as observability only — never as a recovery obligation.
+        assert not any(cid.startswith("fleet:") and record.interrupted
+                       for cid, record in records.items())
+
 
 # -- in-process scheduler recovery -------------------------------------------------
 
